@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10: speedup of compressed-cache TSI, BAI, and DICE over the
+ * uncompressed Alloy baseline, against the 2x-capacity/2x-bandwidth
+ * limit, per workload and for RATE/MIX/GAP/ALL26 geomeans.
+ *
+ * Paper result: TSI +7%, BAI +0.1%, DICE +19.0%, 2x-both +21.9%.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+
+using namespace dice;
+using namespace dice::bench;
+
+int
+main()
+{
+    printHeader("Compressed DRAM cache speedup: TSI vs BAI vs DICE",
+                "DICE (ISCA'17) Figure 10");
+
+    const SystemConfig base = configureBaseline(defaultBase());
+    const SystemConfig tsi =
+        configureCompressed(defaultBase(), CompressionPolicy::TsiOnly);
+    const SystemConfig bai =
+        configureCompressed(defaultBase(), CompressionPolicy::BaiOnly);
+    const SystemConfig dice_cfg = configureDice(defaultBase());
+    const SystemConfig both = configure2xBoth(defaultBase());
+
+    std::map<std::string, double> s_tsi, s_bai, s_dice, s_both;
+
+    printColumns({"TSI", "BAI", "DICE", "2xCap+2xBW"});
+    std::vector<std::string> all;
+    for (const auto &group : {rateNames(), mixNames(), gapNames()}) {
+        for (const auto &name : group) {
+            s_tsi[name] = speedupOver(name, base, "base", tsi, "tsi");
+            s_bai[name] = speedupOver(name, base, "base", bai, "bai");
+            s_dice[name] =
+                speedupOver(name, base, "base", dice_cfg, "dice");
+            s_both[name] = speedupOver(name, base, "base", both, "2x2x");
+            printRow(name, {s_tsi[name], s_bai[name], s_dice[name],
+                            s_both[name]});
+            all.push_back(name);
+        }
+    }
+
+    std::printf("\n");
+    printRow("RATE", {geomeanOver(rateNames(), s_tsi),
+                      geomeanOver(rateNames(), s_bai),
+                      geomeanOver(rateNames(), s_dice),
+                      geomeanOver(rateNames(), s_both)});
+    printRow("MIX", {geomeanOver(mixNames(), s_tsi),
+                     geomeanOver(mixNames(), s_bai),
+                     geomeanOver(mixNames(), s_dice),
+                     geomeanOver(mixNames(), s_both)});
+    printRow("GAP", {geomeanOver(gapNames(), s_tsi),
+                     geomeanOver(gapNames(), s_bai),
+                     geomeanOver(gapNames(), s_dice),
+                     geomeanOver(gapNames(), s_both)});
+    printRow("ALL26", {geomeanOver(all, s_tsi), geomeanOver(all, s_bai),
+                       geomeanOver(all, s_dice), geomeanOver(all, s_both)});
+
+    std::printf("\nPaper (ALL26): TSI 1.07, BAI 1.001, DICE 1.190, "
+                "2xBoth 1.219\n");
+    return 0;
+}

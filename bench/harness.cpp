@@ -1,0 +1,310 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dice::bench
+{
+
+namespace
+{
+
+/** Bump when simulator changes invalidate cached results. */
+constexpr int kCacheVersion = 5;
+
+/** Scale knob: DICE_BENCH_REFS overrides refs per core. */
+std::uint64_t
+refsPerCore()
+{
+    if (const char *env = std::getenv("DICE_BENCH_REFS"))
+        return std::strtoull(env, nullptr, 10);
+    return 40'000;
+}
+
+/**
+ * Directory for cross-binary result caching. Every bench binary needs
+ * many of the same (workload, organization) simulations; persisting
+ * them lets the whole table suite run each simulation exactly once.
+ * Disable with DICE_BENCH_NO_CACHE=1.
+ */
+std::filesystem::path
+cacheDir()
+{
+    if (const char *env = std::getenv("DICE_BENCH_CACHE_DIR"))
+        return env;
+    return "bench_cache";
+}
+
+bool
+cacheEnabled()
+{
+    return std::getenv("DICE_BENCH_NO_CACHE") == nullptr;
+}
+
+std::string
+resultFileName(const std::string &workload, const SystemConfig &config,
+               const std::string &cache_key)
+{
+    std::ostringstream key;
+    key << kCacheVersion << '|' << workload << '|' << cache_key << '|'
+        << config.refs_per_core << '|' << config.warmup_refs_per_core
+        << '|' << config.seed << '|' << config.reference_capacity;
+    return std::to_string(mix64(std::hash<std::string>{}(key.str()))) +
+           ".result";
+}
+
+void
+saveResult(const std::filesystem::path &path, const RunResult &r)
+{
+    std::ofstream out(path);
+    if (!out)
+        return;
+    out.precision(17);
+    out << r.cycles << ' ' << r.instructions << ' ' << r.ipc << ' '
+        << r.l3_hit_rate << ' ' << r.l4_hit_rate << ' ' << r.l4_reads
+        << ' ' << r.l4_extra_lines << ' ' << r.l4_second_probes << ' '
+        << r.cip_read_accuracy << ' ' << r.cip_write_accuracy << ' '
+        << r.mapi_accuracy << ' ' << r.frac_invariant << ' '
+        << r.frac_bai << ' ' << r.frac_tsi << ' ' << r.avg_valid_lines
+        << ' ' << r.l4_bytes << ' ' << r.mem_bytes << ' '
+        << r.avg_miss_latency << ' ' << r.energy.l4_nj << ' '
+        << r.energy.mem_nj << ' ' << r.energy.background_nj << ' '
+        << r.energy.total_nj << ' ' << r.energy.avg_power_w << ' '
+        << r.energy.edp << ' ' << r.energy.seconds << ' '
+        << r.core_cycles.size();
+    for (const Cycle c : r.core_cycles)
+        out << ' ' << c;
+    out << '\n';
+}
+
+bool
+loadResult(const std::filesystem::path &path, RunResult &r)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::size_t n_cores = 0;
+    in >> r.cycles >> r.instructions >> r.ipc >> r.l3_hit_rate >>
+        r.l4_hit_rate >> r.l4_reads >> r.l4_extra_lines >>
+        r.l4_second_probes >> r.cip_read_accuracy >>
+        r.cip_write_accuracy >> r.mapi_accuracy >> r.frac_invariant >>
+        r.frac_bai >> r.frac_tsi >> r.avg_valid_lines >> r.l4_bytes >>
+        r.mem_bytes >> r.avg_miss_latency >> r.energy.l4_nj >>
+        r.energy.mem_nj >> r.energy.background_nj >> r.energy.total_nj >>
+        r.energy.avg_power_w >> r.energy.edp >> r.energy.seconds >>
+        n_cores;
+    if (!in || n_cores == 0 || n_cores > 1024)
+        return false;
+    r.core_cycles.resize(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i)
+        in >> r.core_cycles[i];
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+SystemConfig
+defaultBase()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.refs_per_core = refsPerCore();
+    cfg.warmup_refs_per_core = refsPerCore() / 2;
+    // 1/128-scale machine: an 8-MiB L4 stands in for the paper's
+    // 1 GiB and a 64-KiB shared L3 for the paper's 8 MiB. Footprints
+    // scale with reference_capacity so footprint/capacity pressure
+    // matches Table 3, and the smaller caches reach steady state
+    // within the scaled instruction budget.
+    cfg.reference_capacity = 8_MiB;
+    cfg.l3.size_bytes = 64_KiB;
+    cfg.l4_base.capacity = 8_MiB;
+    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.core.mshrs = 16;
+    cfg.seed = 2017;
+    return cfg;
+}
+
+SystemConfig
+configureBaseline(SystemConfig base)
+{
+    base.l4_kind = L4Kind::Alloy;
+    return base;
+}
+
+SystemConfig
+configureCompressed(SystemConfig base, CompressionPolicy policy)
+{
+    base.l4_kind = L4Kind::Compressed;
+    base.l4_comp.policy = policy;
+    return base;
+}
+
+SystemConfig
+configureDice(SystemConfig base)
+{
+    return configureCompressed(std::move(base), CompressionPolicy::Dice);
+}
+
+SystemConfig
+configure2xCapacity(SystemConfig base)
+{
+    base.l4_kind = L4Kind::Alloy;
+    base.l4_base.capacity *= 2;
+    return base;
+}
+
+SystemConfig
+configure2xBandwidth(SystemConfig base)
+{
+    base.l4_kind = L4Kind::Alloy;
+    base.l4_base.timing.channels *= 2;
+    return base;
+}
+
+SystemConfig
+configure2xBoth(SystemConfig base)
+{
+    return configure2xBandwidth(configure2xCapacity(std::move(base)));
+}
+
+std::vector<WorkloadProfile>
+workloadProfiles(const std::string &name, std::uint32_t cores)
+{
+    if (name.rfind("mix", 0) == 0 && name.size() == 4) {
+        const std::size_t idx =
+            static_cast<std::size_t>(name[3] - '1');
+        dice_assert(idx < mixSuite().size(), "bad mix name %s",
+                    name.c_str());
+        std::vector<WorkloadProfile> profiles = mixSuite()[idx];
+        profiles.resize(cores,
+                        profiles[profiles.size() ? 0 : 0]); // 8 expected
+        return profiles;
+    }
+    return std::vector<WorkloadProfile>(cores, profileByName(name));
+}
+
+const RunResult &
+runWorkload(const std::string &workload, const SystemConfig &config,
+            const std::string &cache_key)
+{
+    static std::map<std::string, RunResult> cache;
+    const std::string key = workload + "|" + cache_key;
+    const auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const std::filesystem::path file =
+        cacheDir() / resultFileName(workload, config, cache_key);
+    if (cacheEnabled()) {
+        RunResult loaded;
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir(), ec);
+        if (loadResult(file, loaded))
+            return cache.emplace(key, std::move(loaded)).first->second;
+    }
+
+    std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
+                 cache_key.c_str());
+    System sys(config, workloadProfiles(workload, config.num_cores));
+    const RunResult &res = cache.emplace(key, sys.run()).first->second;
+    if (cacheEnabled())
+        saveResult(file, res);
+    return res;
+}
+
+double
+speedupOver(const std::string &workload, const SystemConfig &base_cfg,
+            const std::string &base_key, const SystemConfig &test_cfg,
+            const std::string &test_key)
+{
+    const RunResult &base = runWorkload(workload, base_cfg, base_key);
+    const RunResult &test = runWorkload(workload, test_cfg, test_key);
+    return weightedSpeedup(base, test);
+}
+
+const std::vector<std::string> &
+rateNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : specRateSuite())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+mixNames()
+{
+    static const std::vector<std::string> names = {"mix1", "mix2", "mix3",
+                                                   "mix4"};
+    return names;
+}
+
+const std::vector<std::string> &
+gapNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : gapSuite())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+double
+geomeanOver(const std::vector<std::string> &names,
+            const std::map<std::string, double> &values)
+{
+    std::vector<double> vals;
+    for (const auto &n : names) {
+        const auto it = values.find(n);
+        dice_assert(it != values.end(), "missing value for %s",
+                    n.c_str());
+        vals.push_back(it->second);
+    }
+    return geomean(vals);
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================"
+                "============================\n");
+}
+
+void
+printColumns(const std::vector<std::string> &names)
+{
+    std::printf("%-12s", "workload");
+    for (const auto &n : names)
+        std::printf(" %12s", n.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &name, const std::vector<double> &values,
+         const std::vector<std::string> &suffix)
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : values)
+        std::printf(" %12.3f", v);
+    for (const auto &s : suffix)
+        std::printf(" %s", s.c_str());
+    std::printf("\n");
+}
+
+} // namespace dice::bench

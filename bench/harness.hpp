@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmark binaries.
+ *
+ * Each bench binary declares the L4 organizations it compares, runs
+ * every workload of the evaluation suite under each of them, and
+ * prints rows in the shape of the paper's figure/table. Results are
+ * cached per (workload, organization) within a process so binaries
+ * that report several aggregates do not re-simulate.
+ */
+
+#ifndef DICE_BENCH_HARNESS_HPP
+#define DICE_BENCH_HARNESS_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace dice::bench
+{
+
+/** A named way of building a SystemConfig (one bar/line per figure). */
+struct Organization
+{
+    std::string name;
+    std::function<SystemConfig(const SystemConfig &base)> configure;
+};
+
+/** Default scaled system parameters used by all benches. */
+SystemConfig defaultBase();
+
+/** Named SystemConfig builders for the standard organizations. */
+SystemConfig configureBaseline(SystemConfig base);
+SystemConfig configureCompressed(SystemConfig base,
+                                 CompressionPolicy policy);
+SystemConfig configureDice(SystemConfig base);
+SystemConfig configure2xCapacity(SystemConfig base);
+SystemConfig configure2xBandwidth(SystemConfig base);
+SystemConfig configure2xBoth(SystemConfig base);
+
+/** Per-core profiles of a named workload ("mix3" or a suite name). */
+std::vector<WorkloadProfile> workloadProfiles(const std::string &name,
+                                              std::uint32_t cores);
+
+/** Run one workload under one configuration (memoized per process). */
+const RunResult &runWorkload(const std::string &workload,
+                             const SystemConfig &config,
+                             const std::string &cache_key);
+
+/**
+ * Speedup of config over the uncompressed Alloy baseline for a
+ * workload (weighted speedup, as in the paper).
+ */
+double speedupOver(const std::string &workload,
+                   const SystemConfig &base_cfg,
+                   const std::string &base_key,
+                   const SystemConfig &test_cfg,
+                   const std::string &test_key);
+
+/** Workload-name groups used in every table. */
+const std::vector<std::string> &rateNames();
+const std::vector<std::string> &mixNames();
+const std::vector<std::string> &gapNames();
+
+/** Geomean over a set of named per-workload values. */
+double geomeanOver(const std::vector<std::string> &names,
+                   const std::map<std::string, double> &values);
+
+/** Print a header naming the figure/table being reproduced. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+/** Print one row: workload name + columns at fixed width. */
+void printRow(const std::string &name,
+              const std::vector<double> &values,
+              const std::vector<std::string> &suffix = {});
+
+/** Print the column legend. */
+void printColumns(const std::vector<std::string> &names);
+
+} // namespace dice::bench
+
+#endif // DICE_BENCH_HARNESS_HPP

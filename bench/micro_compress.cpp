@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compression substrate:
+ * codec throughput per data class, the size-only fast paths the cache
+ * model uses, and pair compression. These support the simulator's
+ * premise that FPC/BDI decompression is off the critical path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/cpack.hpp"
+#include "compress/hybrid.hpp"
+#include "workloads/datagen.hpp"
+
+namespace
+{
+
+using dice::BdiCodec;
+using dice::CpackCodec;
+using dice::CompClass;
+using dice::DataGenerator;
+using dice::Encoded;
+using dice::FpcCodec;
+using dice::HybridCodec;
+using dice::Line;
+using dice::LineAddr;
+
+Line
+lineOfClass(CompClass cls, LineAddr salt)
+{
+    return DataGenerator::synthesize(cls, salt, 0);
+}
+
+void
+BM_FpcCompress(benchmark::State &state)
+{
+    FpcCodec fpc;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fpc.compress(l));
+}
+BENCHMARK(BM_FpcCompress)->DenseRange(0, 5);
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    BdiCodec bdi;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bdi.compress(l));
+}
+BENCHMARK(BM_BdiCompress)->DenseRange(0, 5);
+
+void
+BM_HybridSizeOnly(benchmark::State &state)
+{
+    HybridCodec codec;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compressedSizeBytes(l));
+}
+BENCHMARK(BM_HybridSizeOnly)->DenseRange(0, 5);
+
+void
+BM_HybridFullEncode(benchmark::State &state)
+{
+    HybridCodec codec;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compress(l));
+}
+BENCHMARK(BM_HybridFullEncode)->DenseRange(0, 5);
+
+void
+BM_HybridDecompress(benchmark::State &state)
+{
+    HybridCodec codec;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    const Encoded enc = codec.compress(l);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decompress(enc));
+}
+BENCHMARK(BM_HybridDecompress)->DenseRange(0, 5);
+
+void
+BM_PairSizeOnly(benchmark::State &state)
+{
+    HybridCodec codec;
+    const Line a =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 2000);
+    const Line b =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 2001);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.pairSizeBytes(a, b));
+}
+BENCHMARK(BM_PairSizeOnly)->DenseRange(0, 5);
+
+void
+BM_CpackCompress(benchmark::State &state)
+{
+    CpackCodec cpack;
+    const Line l =
+        lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cpack.compress(l));
+}
+BENCHMARK(BM_CpackCompress)->DenseRange(0, 5);
+
+void
+BM_DataSynthesis(benchmark::State &state)
+{
+    LineAddr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(DataGenerator::synthesize(
+            static_cast<CompClass>(state.range(0)), ++line, 0));
+    }
+}
+BENCHMARK(BM_DataSynthesis)->DenseRange(0, 5);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Indexing study: compares the four install policies (uncompressed
+ * baseline, TSI, BAI, DICE) on one workload of your choice, and prints
+ * the set-indexing math for a handful of lines so the BAI invariance
+ * property is visible (Figure 6 of the paper, live).
+ *
+ *   $ ./indexing_study [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/indexing.hpp"
+#include "sim/system.hpp"
+
+using namespace dice;
+
+namespace
+{
+
+SystemConfig
+makeConfig(L4Kind kind, CompressionPolicy policy)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.refs_per_core = 30'000;
+    cfg.warmup_refs_per_core = 15'000;
+    cfg.reference_capacity = 8_MiB;
+    cfg.l3.size_bytes = 64_KiB;
+    cfg.l4_kind = kind;
+    cfg.l4_base.capacity = 8_MiB;
+    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.l4_comp.policy = policy;
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "omnetpp";
+
+    // Part 1: the indexing math of Figure 6, on a tiny 8-set cache.
+    std::printf("BAI on an 8-set cache (paper Figure 6):\n");
+    SetIndexer idx(3);
+    std::printf("%6s %4s %4s %4s %10s\n", "line", "TSI", "NSI", "BAI",
+                "invariant");
+    for (LineAddr l = 0; l < 16; ++l) {
+        std::printf("%6llu %4llu %4llu %4llu %10s\n",
+                    static_cast<unsigned long long>(l),
+                    static_cast<unsigned long long>(idx.tsi(l)),
+                    static_cast<unsigned long long>(idx.nsi(l)),
+                    static_cast<unsigned long long>(idx.bai(l)),
+                    idx.baiInvariant(l) ? "yes" : "no");
+    }
+
+    // Part 2: end-to-end policy comparison on a real workload.
+    std::printf("\nPolicy comparison on '%s' (8-core rate):\n\n",
+                workload.c_str());
+    std::printf("%-10s %12s %10s %10s %10s\n", "policy", "cycles",
+                "speedup", "L4 hit%", "L3 hit%");
+
+    const std::vector<WorkloadProfile> profiles(
+        8, profileByName(workload));
+
+    Cycle base_cycles = 0;
+    struct Org
+    {
+        const char *name;
+        L4Kind kind;
+        CompressionPolicy policy;
+    };
+    for (const Org org :
+         {Org{"baseline", L4Kind::Alloy, CompressionPolicy::Dice},
+          Org{"comp-TSI", L4Kind::Compressed, CompressionPolicy::TsiOnly},
+          Org{"comp-NSI", L4Kind::Compressed, CompressionPolicy::NsiOnly},
+          Org{"comp-BAI", L4Kind::Compressed, CompressionPolicy::BaiOnly},
+          Org{"DICE", L4Kind::Compressed, CompressionPolicy::Dice}}) {
+        System sys(makeConfig(org.kind, org.policy), profiles);
+        const RunResult r = sys.run();
+        if (base_cycles == 0)
+            base_cycles = r.cycles;
+        std::printf("%-10s %12llu %10.3f %10.1f %10.1f\n", org.name,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<double>(base_cycles) /
+                        static_cast<double>(r.cycles),
+                    100.0 * r.l4_hit_rate, 100.0 * r.l3_hit_rate);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Predictor tuning: sweeps the CIP Last-Time-Table size and the DICE
+ * insertion threshold on one workload, printing accuracy, second-probe
+ * rate, and performance — the knobs of Sections 5.2/5.3.
+ *
+ *   $ ./predictor_tuning [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/system.hpp"
+
+using namespace dice;
+
+namespace
+{
+
+RunResult
+runDice(const std::string &workload, std::uint32_t ltt_entries,
+        std::uint32_t threshold)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.refs_per_core = 30'000;
+    cfg.warmup_refs_per_core = 15'000;
+    cfg.reference_capacity = 8_MiB;
+    cfg.l3.size_bytes = 64_KiB;
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4_comp.cip_entries = ltt_entries;
+    cfg.l4_comp.threshold_bytes = threshold;
+    cfg.seed = 11;
+    System sys(cfg, std::vector<WorkloadProfile>(
+                        8, profileByName(workload)));
+    return sys.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "soplex";
+
+    std::printf("CIP Last-Time-Table sweep on '%s':\n\n",
+                workload.c_str());
+    std::printf("%-10s %10s %12s %14s %12s\n", "entries", "bytes",
+                "read acc %", "2nd probes", "cycles");
+    for (const std::uint32_t entries : {256u, 512u, 2048u, 8192u}) {
+        const RunResult r = runDice(workload, entries, 36);
+        std::printf("%-10u %10u %12.1f %14llu %12llu\n", entries,
+                    (entries + 7) / 8, 100.0 * r.cip_read_accuracy,
+                    static_cast<unsigned long long>(r.l4_second_probes),
+                    static_cast<unsigned long long>(r.cycles));
+    }
+
+    std::printf("\nInsertion-threshold sweep (Table 4's knob):\n\n");
+    std::printf("%-10s %12s %10s %10s %12s\n", "threshold", "BAI frac %",
+                "TSI frac %", "L4 hit%", "cycles");
+    for (const std::uint32_t threshold : {0u, 24u, 32u, 36u, 40u, 64u}) {
+        const RunResult r = runDice(workload, 2048, threshold);
+        std::printf("%-10u %12.1f %10.1f %10.1f %12llu\n", threshold,
+                    100.0 * r.frac_bai, 100.0 * r.frac_tsi,
+                    100.0 * r.l4_hit_rate,
+                    static_cast<unsigned long long>(r.cycles));
+    }
+
+    std::printf("\nThreshold 0 degenerates to always-TSI, 64 to "
+                "always-BAI; 36 B tracks\nBDI's B4D2 mode (paper "
+                "Section 6.2).\n");
+    return 0;
+}

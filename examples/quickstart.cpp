@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: build an 8-core system with a DICE-compressed DRAM
+ * cache, run a workload, and print the headline statistics. This is
+ * the smallest end-to-end use of the public API.
+ *
+ *   $ ./quickstart [workload] [refs-per-core]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/system.hpp"
+
+using namespace dice;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "soplex";
+    const std::uint64_t refs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40'000;
+
+    // 1. Describe the machine: the defaults mirror the paper's Table 2
+    //    at 1/128 scale (8-MiB L4 standing in for 1 GiB).
+    SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.refs_per_core = refs;
+    cfg.warmup_refs_per_core = refs / 2;
+    cfg.reference_capacity = 8_MiB;
+    cfg.l3.size_bytes = 64_KiB;
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4_comp.threshold_bytes = 36;
+
+    // 2. Pick a workload: every benchmark of the paper's Table 3 is
+    //    available by name; rate mode runs one copy per core.
+    const WorkloadProfile &profile = profileByName(workload);
+    std::vector<WorkloadProfile> per_core(cfg.num_cores, profile);
+
+    // 3. Run.
+    System system(cfg, std::move(per_core));
+    const RunResult r = system.run();
+
+    // 4. Report.
+    std::printf("workload            : %s (x%u rate)\n", workload.c_str(),
+                cfg.num_cores);
+    std::printf("cycles              : %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("IPC per core        : %.3f\n", r.ipc);
+    std::printf("L3 hit rate         : %.1f%%\n", 100.0 * r.l3_hit_rate);
+    std::printf("L4 hit rate         : %.1f%%\n", 100.0 * r.l4_hit_rate);
+    std::printf("free neighbors to L3: %llu\n",
+                static_cast<unsigned long long>(r.l4_extra_lines));
+    std::printf("CIP read accuracy   : %.1f%%\n",
+                100.0 * r.cip_read_accuracy);
+    std::printf("index mix           : %.0f%% invariant / %.0f%% BAI / "
+                "%.0f%% TSI\n",
+                100.0 * r.frac_invariant, 100.0 * r.frac_bai,
+                100.0 * r.frac_tsi);
+    std::printf("avg miss latency    : %.0f cycles\n",
+                r.avg_miss_latency);
+    std::printf("off-chip energy     : %.2f mJ (EDP %.3g)\n",
+                r.energy.total_nj * 1e-6, r.energy.edp);
+    return 0;
+}

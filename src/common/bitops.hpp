@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by indexing schemes, the TAD set
+ * layout codec, and the compressors.
+ */
+
+#ifndef DICE_COMMON_BITOPS_HPP
+#define DICE_COMMON_BITOPS_HPP
+
+#include <cassert>
+#include <cstdint>
+
+namespace dice
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    std::uint32_t l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/**
+ * Extract bits [hi:lo] (inclusive, hi >= lo) of @p v, right-justified.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, std::uint32_t hi, std::uint32_t lo)
+{
+    const std::uint32_t n_bits = hi - lo + 1;
+    const std::uint64_t mask =
+        n_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n_bits) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Extract the single bit @p pos of @p v. */
+constexpr std::uint64_t
+bit(std::uint64_t v, std::uint32_t pos)
+{
+    return (v >> pos) & 1;
+}
+
+/**
+ * Insert the low @p n_bits of @p field into @p v at bit position @p lo,
+ * returning the updated word.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, std::uint32_t lo, std::uint32_t n_bits,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        n_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n_bits) - 1);
+    return (v & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p n_bits of @p v to a signed 64-bit value. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, std::uint32_t n_bits)
+{
+    assert(n_bits >= 1 && n_bits <= 64);
+    if (n_bits == 64)
+        return static_cast<std::int64_t>(v);
+    const std::uint64_t sign = std::uint64_t{1} << (n_bits - 1);
+    const std::uint64_t mask = (std::uint64_t{1} << n_bits) - 1;
+    v &= mask;
+    return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+/**
+ * True iff signed value @p v is representable in @p n_bits two's
+ * complement bits.
+ */
+constexpr bool
+fitsSigned(std::int64_t v, std::uint32_t n_bits)
+{
+    if (n_bits >= 64)
+        return true;
+    const std::int64_t lim = std::int64_t{1} << (n_bits - 1);
+    return v >= -lim && v < lim;
+}
+
+/** True iff unsigned value @p v is representable in @p n_bits. */
+constexpr bool
+fitsUnsigned(std::uint64_t v, std::uint32_t n_bits)
+{
+    if (n_bits >= 64)
+        return true;
+    return v < (std::uint64_t{1} << n_bits);
+}
+
+} // namespace dice
+
+#endif // DICE_COMMON_BITOPS_HPP

@@ -1,0 +1,50 @@
+#include "log.hpp"
+
+namespace dice
+{
+
+namespace
+{
+
+void
+vreport(const char *tag, const char *file, int line, const char *fmt,
+        std::va_list ap)
+{
+    std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", file, line, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace dice

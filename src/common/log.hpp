@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              aborts so a debugger/core dump is available.
+ *  - fatal():  the user asked for something unsatisfiable (bad
+ *              configuration); exits with status 1.
+ *  - warn():   something is suspicious but simulation can continue.
+ */
+
+#ifndef DICE_COMMON_LOG_HPP
+#define DICE_COMMON_LOG_HPP
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dice
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace dice
+
+/** Report a simulator bug and abort. */
+#define dice_panic(...) ::dice::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report an unusable user configuration and exit(1). */
+#define dice_fatal(...) ::dice::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a suspicious-but-survivable condition. */
+#define dice_warn(...) ::dice::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() unless @p cond holds; remaining args are a printf message. */
+#define dice_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dice::warnImpl(__FILE__, __LINE__,                            \
+                             "assertion '%s' failed", #cond);               \
+            dice_panic(__VA_ARGS__);                                        \
+        }                                                                   \
+    } while (0)
+
+#endif // DICE_COMMON_LOG_HPP

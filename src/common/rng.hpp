@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (trace generation, data
+ * synthesis, page placement) draws from an explicitly-seeded Xorshift128+
+ * stream so that runs are bit-reproducible regardless of the standard
+ * library implementation.
+ */
+
+#ifndef DICE_COMMON_RNG_HPP
+#define DICE_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace dice
+{
+
+/**
+ * Xorshift128+ generator. Small, fast, and adequate statistical quality
+ * for workload synthesis; not for cryptography.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is fine). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding to decorrelate nearby seeds.
+        auto next_seed = [&seed]() {
+            seed += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next_seed();
+        s1_ = next_seed();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next 64 uniformly-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift bounded rejection-free mapping (slightly biased
+        // for astronomically-large bounds; irrelevant for simulation).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+/**
+ * Stateless 64-bit mix hash; used to derive deterministic per-address
+ * values (data synthesis, page->profile assignment, CIP table hashing).
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Combine two values into one hash (order-sensitive). */
+constexpr std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 6)));
+}
+
+} // namespace dice
+
+#endif // DICE_COMMON_RNG_HPP

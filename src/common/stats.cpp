@@ -1,0 +1,56 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace dice
+{
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    char buf[256];
+    for (const auto &e : entries_) {
+        std::snprintf(buf, sizeof buf, "%s.%s %.6g\n", name_.c_str(),
+                      e.name.c_str(), e.value());
+        out += buf;
+    }
+    return out;
+}
+
+double
+StatGroup::get(const std::string &stat_name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == stat_name)
+            return e.value();
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+} // namespace dice

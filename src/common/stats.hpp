@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Subsystems expose their counters through a StatGroup so that tests,
+ * examples, and the benchmark harness can enumerate and print them
+ * uniformly. The design is a deliberately small subset of the gem5 stats
+ * package: scalars, formulas (lazy ratios), and fixed-bucket histograms.
+ */
+
+#ifndef DICE_COMMON_STATS_HPP
+#define DICE_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dice
+{
+
+/** A monotonically-increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (used between measurement phases). */
+    void reset() { value_ = 0; }
+
+    operator std::uint64_t() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Histogram with fixed-width buckets plus an overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param n_buckets Number of regular buckets.
+     * @param bucket_width Width of each bucket in sample units.
+     */
+    explicit Histogram(std::uint32_t n_buckets = 16,
+                       std::uint64_t bucket_width = 1)
+        : width_(bucket_width), buckets_(n_buckets + 1, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        const std::uint64_t idx = v / width_;
+        const std::uint64_t cap = buckets_.size() - 1;
+        ++buckets_[idx < cap ? idx : cap];
+        sum_ += v;
+        ++count_;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+
+    /** Mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /** Count in bucket @p i (the last bucket is the overflow bucket). */
+    std::uint64_t bucket(std::uint32_t i) const { return buckets_.at(i); }
+
+    std::uint32_t
+    numBuckets() const
+    {
+        return static_cast<std::uint32_t>(buckets_.size());
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        sum_ = count_ = max_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics. Values are captured through
+ * accessor lambdas so that a group can expose both raw counters and
+ * derived formulas without storage duplication.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a raw counter under @p stat_name. */
+    void
+    addCounter(const std::string &stat_name, const Counter &c)
+    {
+        entries_.push_back(
+            {stat_name, [&c]() { return static_cast<double>(c.value()); }});
+    }
+
+    /** Register a derived value (ratio, percentage, ...). */
+    void
+    addFormula(const std::string &stat_name, std::function<double()> f)
+    {
+        entries_.push_back({stat_name, std::move(f)});
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Render "group.stat value" lines, one per entry. */
+    std::string dump() const;
+
+    /** Look up a stat by name; returns NaN when absent. */
+    double get(const std::string &stat_name) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::function<double()> value;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+/** Geometric mean of a vector of positive values (1.0 when empty). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0.0 when empty). */
+double mean(const std::vector<double> &values);
+
+} // namespace dice
+
+#endif // DICE_COMMON_STATS_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fundamental types and memory-geometry constants shared by every
+ * subsystem of the DICE reproduction.
+ */
+
+#ifndef DICE_COMMON_TYPES_HPP
+#define DICE_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dice
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Line address: byte address divided by the line size (64 B). */
+using LineAddr = std::uint64_t;
+
+/** Simulated time, measured in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a core in the simulated system. */
+using CoreId = std::uint32_t;
+
+/** Cache line size used throughout the hierarchy (bytes). */
+inline constexpr std::uint32_t kLineSize = 64;
+
+/** log2 of the line size, for address slicing. */
+inline constexpr std::uint32_t kLineShift = 6;
+
+/** OS page size assumed by the VA->PA mapper and by CIP (bytes). */
+inline constexpr std::uint32_t kPageSize = 4096;
+
+/** log2 of the page size. */
+inline constexpr std::uint32_t kPageShift = 12;
+
+/** Lines per page. */
+inline constexpr std::uint32_t kLinesPerPage = kPageSize / kLineSize;
+
+/** Convert a byte address to a line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+addrOf(LineAddr line)
+{
+    return line << kLineShift;
+}
+
+/** Page number of a byte address. */
+constexpr std::uint64_t
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Page number of a line address. */
+constexpr std::uint64_t
+pageOfLine(LineAddr line)
+{
+    return line >> (kPageShift - kLineShift);
+}
+
+/** Kind of access presented to a cache level. */
+enum class AccessType : std::uint8_t
+{
+    Read,      ///< Demand load (or instruction fetch).
+    Write,     ///< Store (handled as write-allocate + writeback).
+    Writeback, ///< Dirty eviction arriving from the level above.
+};
+
+/** Size-suffix helpers so configuration code reads like the paper. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+} // namespace dice
+
+#endif // DICE_COMMON_TYPES_HPP

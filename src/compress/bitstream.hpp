@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-granular serialization used by the compression codecs.
+ *
+ * The codecs produce real bitstreams (not just size estimates) so that
+ * round-trip correctness can be tested; the cache model then uses the
+ * bit-exact encoded sizes.
+ */
+
+#ifndef DICE_COMPRESS_BITSTREAM_HPP
+#define DICE_COMPRESS_BITSTREAM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace dice
+{
+
+/** Append-only bit vector writer (LSB-first within each byte). */
+class BitWriter
+{
+  public:
+    /** Append the low @p n_bits of @p value (n_bits <= 64). */
+    void
+    write(std::uint64_t value, std::uint32_t n_bits)
+    {
+        dice_assert(n_bits <= 64, "BitWriter::write of %u bits", n_bits);
+        for (std::uint32_t i = 0; i < n_bits; ++i) {
+            const std::uint32_t byte = bit_pos_ >> 3;
+            const std::uint32_t off = bit_pos_ & 7;
+            if (byte >= bytes_.size())
+                bytes_.push_back(0);
+            if ((value >> i) & 1)
+                bytes_[byte] |= static_cast<std::uint8_t>(1u << off);
+            ++bit_pos_;
+        }
+    }
+
+    /** Total bits written so far. */
+    std::uint32_t bitSize() const { return bit_pos_; }
+
+    /** Size in whole bytes (rounded up). */
+    std::uint32_t byteSize() const { return (bit_pos_ + 7) / 8; }
+
+    /** The backing bytes (final byte may be partially used). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint32_t bit_pos_ = 0;
+};
+
+/** Sequential reader over a bitstream produced by BitWriter. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    /** Read @p n_bits (<= 64), LSB-first. */
+    std::uint64_t
+    read(std::uint32_t n_bits)
+    {
+        dice_assert(n_bits <= 64, "BitReader::read of %u bits", n_bits);
+        std::uint64_t v = 0;
+        for (std::uint32_t i = 0; i < n_bits; ++i) {
+            const std::uint32_t byte = bit_pos_ >> 3;
+            const std::uint32_t off = bit_pos_ & 7;
+            dice_assert(byte < bytes_.size(), "BitReader past end");
+            if ((bytes_[byte] >> off) & 1)
+                v |= std::uint64_t{1} << i;
+            ++bit_pos_;
+        }
+        return v;
+    }
+
+    /** Bits consumed so far. */
+    std::uint32_t bitPos() const { return bit_pos_; }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::uint32_t bit_pos_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_COMPRESS_BITSTREAM_HPP

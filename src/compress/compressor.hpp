@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Common types and the abstract interface for line compressors.
+ *
+ * DICE uses low-latency compressors (FPC + BDI, with ZCA as the trivial
+ * all-zero special case). Each codec produces a real encoded bitstream;
+ * the byte size of that stream — plus per-line metadata kept in the tag,
+ * which the TAD layout accounts for separately — is what the cache model
+ * consumes.
+ */
+
+#ifndef DICE_COMPRESS_COMPRESSOR_HPP
+#define DICE_COMPRESS_COMPRESSOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Raw bytes of one 64-B cache line. */
+using Line = std::array<std::uint8_t, kLineSize>;
+
+/** Raw bytes of a pair of adjacent lines (128 B), for pair compression. */
+using LinePair = std::array<std::uint8_t, 2 * kLineSize>;
+
+/** Compression algorithm identifiers (stored in tag metadata). */
+enum class CompAlgo : std::uint8_t
+{
+    None,   ///< Stored uncompressed (64 B).
+    Zca,    ///< Zero-content line (data size 0; tag bit suffices).
+    Fpc,    ///< Frequent Pattern Compression.
+    Bdi,    ///< Base-Delta-Immediate (mode in the meta bits).
+};
+
+/** An encoded line: algorithm, mode metadata, and the bitstream. */
+struct Encoded
+{
+    CompAlgo algo = CompAlgo::None;
+    /** Algorithm-specific mode (BDI mode index; unused for FPC/ZCA). */
+    std::uint8_t mode = 0;
+    /**
+     * Side metadata that lives in the tag's metadata bits rather than
+     * the data payload (the BDI immediate mask). Not charged against
+     * the payload size, matching the paper's size accounting where
+     * compression metadata occupies tag bits.
+     */
+    std::uint64_t meta = 0;
+    /** The encoded payload. Empty for ZCA; raw line for None. */
+    std::vector<std::uint8_t> payload;
+    /** Exact encoded size in bits (payload only, excluding tag/meta). */
+    std::uint32_t bits = 0;
+
+    /** Payload size rounded up to whole bytes. */
+    std::uint32_t sizeBytes() const { return (bits + 7) / 8; }
+};
+
+/** Interface implemented by every codec. */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /** Human-readable codec name. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Compress @p line. Codecs that cannot represent the line return an
+     * Encoded with algo == CompAlgo::None and bits == 8 * kLineSize.
+     */
+    virtual Encoded compress(const Line &line) const = 0;
+
+    /** Invert compress(); @p enc must come from the same codec. */
+    virtual Line decompress(const Encoded &enc) const = 0;
+};
+
+/** Convenience: an Encoded that stores @p line verbatim. */
+Encoded encodeRaw(const Line &line);
+
+/** Convenience: recover the raw line from a CompAlgo::None encoding. */
+Line decodeRaw(const Encoded &enc);
+
+} // namespace dice
+
+#endif // DICE_COMPRESS_COMPRESSOR_HPP

@@ -1,0 +1,207 @@
+#include "fpc.hpp"
+
+#include <cstring>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "compress/bitstream.hpp"
+
+namespace dice
+{
+
+namespace
+{
+
+std::uint32_t
+loadWord(const Line &line, std::uint32_t idx)
+{
+    std::uint32_t w;
+    std::memcpy(&w, line.data() + 4 * idx, 4);
+    return w;
+}
+
+void
+storeWord(Line &line, std::uint32_t idx, std::uint32_t w)
+{
+    std::memcpy(line.data() + 4 * idx, &w, 4);
+}
+
+bool
+isRepeatedByte(std::uint32_t w)
+{
+    const std::uint32_t b = w & 0xFF;
+    const std::uint32_t rep = b * 0x01010101u;
+    return w == rep;
+}
+
+} // namespace
+
+std::uint32_t
+FpcCodec::compressedBits(const Line &line) const
+{
+    std::uint32_t bits = 0;
+    std::uint32_t i = 0;
+    while (i < kWords) {
+        const std::uint32_t w = loadWord(line, i);
+        if (w == 0) {
+            std::uint32_t run = 1;
+            while (run < 8 && i + run < kWords &&
+                   loadWord(line, i + run) == 0) {
+                ++run;
+            }
+            bits += 6;
+            i += run;
+            continue;
+        }
+        const auto sw = static_cast<std::int32_t>(w);
+        const std::uint32_t hi = w >> 16;
+        const std::uint32_t lo = w & 0xFFFF;
+        if (fitsSigned(sw, 4)) {
+            bits += 7;
+        } else if (fitsSigned(sw, 8)) {
+            bits += 11;
+        } else if (fitsSigned(sw, 16)) {
+            bits += 19;
+        } else if (lo == 0) {
+            bits += 19;
+        } else if (fitsSigned(signExtend(hi, 16), 8) &&
+                   fitsSigned(signExtend(lo, 16), 8)) {
+            bits += 19;
+        } else if (isRepeatedByte(w)) {
+            bits += 11;
+        } else {
+            bits += 35;
+        }
+        ++i;
+    }
+    return (bits + 7) / 8 >= kLineSize ? 8 * kLineSize : bits;
+}
+
+Encoded
+FpcCodec::compress(const Line &line) const
+{
+    BitWriter bw;
+
+    std::uint32_t i = 0;
+    while (i < kWords) {
+        const std::uint32_t w = loadWord(line, i);
+
+        if (w == 0) {
+            // Collapse up to 8 consecutive zero words into one token.
+            std::uint32_t run = 1;
+            while (run < 8 && i + run < kWords &&
+                   loadWord(line, i + run) == 0) {
+                ++run;
+            }
+            bw.write(ZeroRun, 3);
+            bw.write(run - 1, 3);
+            i += run;
+            continue;
+        }
+
+        const auto sw = static_cast<std::int32_t>(w);
+        const std::uint32_t hi = w >> 16;
+        const std::uint32_t lo = w & 0xFFFF;
+
+        if (fitsSigned(sw, 4)) {
+            bw.write(Sign4, 3);
+            bw.write(w & 0xF, 4);
+        } else if (fitsSigned(sw, 8)) {
+            bw.write(Sign8, 3);
+            bw.write(w & 0xFF, 8);
+        } else if (fitsSigned(sw, 16)) {
+            bw.write(Sign16, 3);
+            bw.write(w & 0xFFFF, 16);
+        } else if (lo == 0) {
+            bw.write(HalfZeroPad, 3);
+            bw.write(hi, 16);
+        } else if (fitsSigned(signExtend(hi, 16), 8) &&
+                   fitsSigned(signExtend(lo, 16), 8)) {
+            bw.write(TwoSignedBytes, 3);
+            bw.write(hi & 0xFF, 8);
+            bw.write(lo & 0xFF, 8);
+        } else if (isRepeatedByte(w)) {
+            bw.write(RepeatedByte, 3);
+            bw.write(w & 0xFF, 8);
+        } else {
+            bw.write(Uncompressed, 3);
+            bw.write(w, 32);
+        }
+        ++i;
+    }
+
+    // A line that expands past its raw size is left uncompressed.
+    if (bw.byteSize() >= kLineSize)
+        return encodeRaw(line);
+
+    Encoded enc;
+    enc.algo = CompAlgo::Fpc;
+    enc.payload = bw.bytes();
+    enc.bits = bw.bitSize();
+    return enc;
+}
+
+Line
+FpcCodec::decompress(const Encoded &enc) const
+{
+    if (enc.algo == CompAlgo::None)
+        return decodeRaw(enc);
+    dice_assert(enc.algo == CompAlgo::Fpc, "FPC decompress of wrong algo");
+
+    Line line{};
+    BitReader br(enc.payload);
+
+    std::uint32_t i = 0;
+    while (i < kWords) {
+        const auto pattern = static_cast<Pattern>(br.read(3));
+        switch (pattern) {
+          case ZeroRun: {
+            const std::uint32_t run =
+                static_cast<std::uint32_t>(br.read(3)) + 1;
+            dice_assert(i + run <= kWords, "FPC zero run overflows line");
+            for (std::uint32_t k = 0; k < run; ++k)
+                storeWord(line, i + k, 0);
+            i += run;
+            break;
+          }
+          case Sign4:
+            storeWord(line, i++,
+                      static_cast<std::uint32_t>(signExtend(br.read(4), 4)));
+            break;
+          case Sign8:
+            storeWord(line, i++,
+                      static_cast<std::uint32_t>(signExtend(br.read(8), 8)));
+            break;
+          case Sign16:
+            storeWord(
+                line, i++,
+                static_cast<std::uint32_t>(signExtend(br.read(16), 16)));
+            break;
+          case HalfZeroPad:
+            storeWord(line, i++,
+                      static_cast<std::uint32_t>(br.read(16)) << 16);
+            break;
+          case TwoSignedBytes: {
+            const auto hi = static_cast<std::uint32_t>(
+                signExtend(br.read(8), 8)) & 0xFFFF;
+            const auto lo = static_cast<std::uint32_t>(
+                signExtend(br.read(8), 8)) & 0xFFFF;
+            storeWord(line, i++, (hi << 16) | lo);
+            break;
+          }
+          case RepeatedByte: {
+            const auto b = static_cast<std::uint32_t>(br.read(8));
+            storeWord(line, i++, b * 0x01010101u);
+            break;
+          }
+          case Uncompressed:
+            storeWord(line, i++, static_cast<std::uint32_t>(br.read(32)));
+            break;
+          default:
+            dice_panic("FPC: bad pattern");
+        }
+    }
+    return line;
+}
+
+} // namespace dice

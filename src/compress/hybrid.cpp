@@ -1,0 +1,249 @@
+#include "hybrid.hpp"
+
+#include <cstring>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "compress/bitstream.hpp"
+
+namespace dice
+{
+
+Encoded
+HybridCodec::compress(const Line &line) const
+{
+    Encoded best = zca_.compress(line);
+    if (best.algo == CompAlgo::Zca)
+        return best; // Cannot be beaten (0 bits).
+
+    const Encoded b = bdi_.compress(line);
+    const Encoded f = fpc_.compress(line);
+
+    best = encodeRaw(line);
+    // Prefer BDI on ties: its 1-cycle decompression is cheaper, and tag
+    // metadata is smaller.
+    if (f.algo != CompAlgo::None && f.bits < best.bits)
+        best = f;
+    if (b.algo != CompAlgo::None && b.bits <= best.bits)
+        best = b;
+    return best;
+}
+
+Line
+HybridCodec::decompress(const Encoded &enc) const
+{
+    switch (enc.algo) {
+      case CompAlgo::None:
+        return decodeRaw(enc);
+      case CompAlgo::Zca:
+        return zca_.decompress(enc);
+      case CompAlgo::Fpc:
+        return fpc_.decompress(enc);
+      case CompAlgo::Bdi:
+        return bdi_.decompress(enc);
+      default:
+        dice_panic("bad compression algo %u",
+                   static_cast<unsigned>(enc.algo));
+    }
+}
+
+std::uint32_t
+HybridCodec::compressedSizeBytes(const Line &line) const
+{
+    bool all_zero = true;
+    for (std::uint8_t b : line) {
+        if (b != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return 0;
+
+    const std::uint32_t best_bits =
+        std::min(bdi_.compressedBits(line), fpc_.compressedBits(line));
+    return (best_bits + 7) / 8;
+}
+
+namespace
+{
+
+std::uint64_t
+loadElem(const Line &line, std::uint32_t k, std::uint32_t idx)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, line.data() + k * idx, k);
+    return v;
+}
+
+/** Representability of the pair under one shared-base BDI mode. */
+bool
+pairRepresentable(const Line &a, const Line &b, BdiCodec::Mode mode)
+{
+    const std::uint32_t k = BdiCodec::baseBytes(mode);
+    const std::uint32_t d = BdiCodec::deltaBytes(mode);
+    const std::uint32_t n_elem = kLineSize / k;
+    const std::uint32_t delta_bits = 8 * d;
+
+    std::int64_t base_val = 0;
+    bool base_set = false;
+    for (std::uint32_t i = 0; i < 2 * n_elem; ++i) {
+        const Line &src = i < n_elem ? a : b;
+        const std::uint32_t idx = i < n_elem ? i : i - n_elem;
+        const std::int64_t val =
+            signExtend(loadElem(src, k, idx), 8 * k);
+        if (fitsSigned(val, delta_bits))
+            continue;
+        if (!base_set) {
+            base_val = val;
+            base_set = true;
+        }
+        if (!fitsSigned(val - base_val, delta_bits))
+            return false;
+    }
+    return true;
+}
+
+/** Joint payload bits of a shared-base pair encoding. */
+std::uint32_t
+pairPayloadBits(BdiCodec::Mode mode)
+{
+    const std::uint32_t k = BdiCodec::baseBytes(mode);
+    const std::uint32_t d = BdiCodec::deltaBytes(mode);
+    const std::uint32_t n_elem = kLineSize / k;
+    return 8 * k + 2 * n_elem * 8 * d;
+}
+
+} // namespace
+
+std::uint32_t
+HybridCodec::pairSizeBytes(const Line &a, const Line &b) const
+{
+    std::uint32_t best_bits = 8 * (compressedSizeBytes(a) +
+                                   compressedSizeBytes(b));
+    static constexpr BdiCodec::Mode kDeltaModes[] = {
+        BdiCodec::B8D1, BdiCodec::B4D1, BdiCodec::B8D2,
+        BdiCodec::B4D2, BdiCodec::B2D1, BdiCodec::B8D4,
+    };
+    for (auto mode : kDeltaModes) {
+        const std::uint32_t bits = pairPayloadBits(mode);
+        if (bits < best_bits && pairRepresentable(a, b, mode))
+            best_bits = bits;
+    }
+    return (best_bits + 7) / 8;
+}
+
+namespace
+{
+
+void
+storeElem(Line &line, std::uint32_t k, std::uint32_t idx, std::uint64_t v)
+{
+    std::memcpy(line.data() + k * idx, &v, k);
+}
+
+} // namespace
+
+std::optional<EncodedPair>
+HybridCodec::sharedBaseEncode(const Line &a, const Line &b,
+                              BdiCodec::Mode mode) const
+{
+    if (mode == BdiCodec::Zeros || mode == BdiCodec::Rep8)
+        return std::nullopt; // Pair sharing only applies to delta modes.
+
+    const std::uint32_t k = BdiCodec::baseBytes(mode);
+    const std::uint32_t d = BdiCodec::deltaBytes(mode);
+    const std::uint32_t n_elem = kLineSize / k;
+    const std::uint32_t delta_bits = 8 * d;
+
+    std::uint64_t base = 0;
+    bool base_set = false;
+    std::uint64_t mask = 0; // 2*n_elem mask bits across both lines
+    std::vector<std::int64_t> deltas(2 * n_elem);
+
+    for (std::uint32_t i = 0; i < 2 * n_elem; ++i) {
+        const Line &src = i < n_elem ? a : b;
+        const std::uint32_t idx = i < n_elem ? i : i - n_elem;
+        const std::uint64_t raw = loadElem(src, k, idx);
+        const std::int64_t val = signExtend(raw, 8 * k);
+        if (fitsSigned(val, delta_bits)) {
+            mask |= std::uint64_t{1} << i;
+            deltas[i] = val;
+            continue;
+        }
+        if (!base_set) {
+            base = raw;
+            base_set = true;
+        }
+        const std::int64_t delta = val - signExtend(base, 8 * k);
+        if (!fitsSigned(delta, delta_bits))
+            return std::nullopt;
+        deltas[i] = delta;
+    }
+
+    BitWriter bw;
+    bw.write(base, 8 * k);
+    for (std::uint32_t i = 0; i < 2 * n_elem; ++i)
+        bw.write(static_cast<std::uint64_t>(deltas[i]), delta_bits);
+
+    EncodedPair enc;
+    enc.scheme = PairScheme::SharedBdiBase;
+    enc.mode = mode;
+    enc.meta = mask;
+    enc.joint = bw.bytes();
+    enc.bits = bw.bitSize();
+    return enc;
+}
+
+EncodedPair
+HybridCodec::compressPair(const Line &a, const Line &b) const
+{
+    EncodedPair best;
+    best.scheme = PairScheme::Independent;
+    best.first = compress(a);
+    best.second = compress(b);
+    // Independently-encoded lines are stored byte-aligned.
+    best.bits = 8 * (best.first.sizeBytes() + best.second.sizeBytes());
+
+    static constexpr BdiCodec::Mode kDeltaModes[] = {
+        BdiCodec::B8D1, BdiCodec::B4D1, BdiCodec::B8D2,
+        BdiCodec::B4D2, BdiCodec::B2D1, BdiCodec::B8D4,
+    };
+    for (auto mode : kDeltaModes) {
+        if (auto shared = sharedBaseEncode(a, b, mode)) {
+            if (shared->bits < best.bits)
+                best = std::move(*shared);
+        }
+    }
+    return best;
+}
+
+std::pair<Line, Line>
+HybridCodec::decompressPair(const EncodedPair &enc) const
+{
+    if (enc.scheme == PairScheme::Independent)
+        return {decompress(enc.first), decompress(enc.second)};
+
+    const auto mode = static_cast<BdiCodec::Mode>(enc.mode);
+    const std::uint32_t k = BdiCodec::baseBytes(mode);
+    const std::uint32_t d = BdiCodec::deltaBytes(mode);
+    const std::uint32_t n_elem = kLineSize / k;
+
+    BitReader br(enc.joint);
+    const std::uint64_t base = br.read(8 * k);
+    const std::int64_t base_val = signExtend(base, 8 * k);
+    const std::uint64_t mask = enc.meta;
+
+    Line a{}, b{};
+    for (std::uint32_t i = 0; i < 2 * n_elem; ++i) {
+        const std::int64_t delta = signExtend(br.read(8 * d), 8 * d);
+        const bool immediate = (mask >> i) & 1;
+        const std::int64_t val = immediate ? delta : base_val + delta;
+        Line &dst = i < n_elem ? a : b;
+        const std::uint32_t idx = i < n_elem ? i : i - n_elem;
+        storeElem(dst, k, idx, static_cast<std::uint64_t>(val));
+    }
+    return {a, b};
+}
+
+} // namespace dice

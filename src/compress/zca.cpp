@@ -1,0 +1,34 @@
+#include "zca.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dice
+{
+
+Encoded
+ZcaCodec::compress(const Line &line) const
+{
+    const bool all_zero =
+        std::all_of(line.begin(), line.end(),
+                    [](std::uint8_t b) { return b == 0; });
+    if (!all_zero)
+        return encodeRaw(line);
+
+    Encoded enc;
+    enc.algo = CompAlgo::Zca;
+    enc.bits = 0;
+    return enc;
+}
+
+Line
+ZcaCodec::decompress(const Encoded &enc) const
+{
+    if (enc.algo == CompAlgo::None)
+        return decodeRaw(enc);
+    dice_assert(enc.algo == CompAlgo::Zca, "ZCA decompress of wrong algo");
+    return Line{};
+}
+
+} // namespace dice

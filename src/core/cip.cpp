@@ -1,0 +1,105 @@
+#include "cip.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+Cip::Cip(std::uint32_t ltt_entries) : ltt_(ltt_entries, 0)
+{
+    dice_assert(ltt_entries > 0, "CIP with empty LTT");
+}
+
+std::uint32_t
+Cip::indexOf(LineAddr line) const
+{
+    const std::uint64_t page = pageOfLine(line);
+    return static_cast<std::uint32_t>(mix64(page) % ltt_.size());
+}
+
+IndexScheme
+Cip::predictRead(LineAddr line) const
+{
+    return ltt_[indexOf(line)] ? IndexScheme::BAI : IndexScheme::TSI;
+}
+
+void
+Cip::updateRead(LineAddr line, IndexScheme actual)
+{
+    const IndexScheme predicted = predictRead(line);
+    ++read_predictions_;
+    if (predicted != actual)
+        ++read_mispredicts_;
+    ltt_[indexOf(line)] = actual == IndexScheme::BAI ? 1 : 0;
+}
+
+void
+Cip::train(LineAddr line, IndexScheme actual)
+{
+    ltt_[indexOf(line)] = actual == IndexScheme::BAI ? 1 : 0;
+}
+
+IndexScheme
+Cip::predictWrite(std::uint32_t size_bytes,
+                  std::uint32_t threshold_bytes) const
+{
+    return size_bytes <= threshold_bytes ? IndexScheme::BAI
+                                         : IndexScheme::TSI;
+}
+
+void
+Cip::scoreWrite(IndexScheme predicted, IndexScheme actual)
+{
+    ++write_predictions_;
+    if (predicted != actual)
+        ++write_mispredicts_;
+}
+
+void
+Cip::resetStats()
+{
+    read_predictions_ = read_mispredicts_ = 0;
+    write_predictions_ = write_mispredicts_ = 0;
+}
+
+std::uint32_t
+Cip::storageBytes() const
+{
+    return static_cast<std::uint32_t>((ltt_.size() + 7) / 8);
+}
+
+double
+Cip::readAccuracy() const
+{
+    if (read_predictions_ == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(read_mispredicts_) /
+                     static_cast<double>(read_predictions_);
+}
+
+double
+Cip::writeAccuracy() const
+{
+    if (write_predictions_ == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(write_mispredicts_) /
+                     static_cast<double>(write_predictions_);
+}
+
+StatGroup
+Cip::stats() const
+{
+    StatGroup g("cip");
+    g.addFormula("read_predictions",
+                 [this]() { return double(read_predictions_); });
+    g.addFormula("read_accuracy", [this]() { return readAccuracy(); });
+    g.addFormula("write_predictions",
+                 [this]() { return double(write_predictions_); });
+    g.addFormula("write_accuracy", [this]() { return writeAccuracy(); });
+    g.addFormula("storage_bytes",
+                 [this]() { return double(storageBytes()); });
+    return g;
+}
+
+} // namespace dice

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cache Index Prediction (paper Section 5.3, Figure 9).
+ *
+ * Lines whose TSI and BAI sets differ could be in either location; CIP
+ * predicts which one to probe first.
+ *
+ *  - Reads use a Last-Time Table (LTT): one bit per entry, indexed by a
+ *    hash of the page number, recording the index scheme that last
+ *    satisfied an access to that page (compressibility is strongly
+ *    page-correlated). Default 2048 entries = 256 B of SRAM.
+ *  - Writes predict from the compressed size of the data being written
+ *    (the same <= threshold rule the insertion policy uses).
+ */
+
+#ifndef DICE_CORE_CIP_HPP
+#define DICE_CORE_CIP_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/indexing.hpp"
+
+namespace dice
+{
+
+/** History-based read predictor + size-based write predictor. */
+class Cip
+{
+  public:
+    /** @param ltt_entries Number of 1-bit LTT entries (default 2048). */
+    explicit Cip(std::uint32_t ltt_entries = 2048);
+
+    /** Predicted scheme for a read of @p line. */
+    IndexScheme predictRead(LineAddr line) const;
+
+    /**
+     * Record the scheme that actually held (or received) the line, and
+     * score the last prediction.
+     */
+    void updateRead(LineAddr line, IndexScheme actual);
+
+    /** Train the LTT without scoring (used on installs). */
+    void train(LineAddr line, IndexScheme actual);
+
+    /** Predicted scheme for a write compressing to @p size_bytes. */
+    IndexScheme predictWrite(std::uint32_t size_bytes,
+                             std::uint32_t threshold_bytes) const;
+
+    /** Score a write prediction against the line's actual location. */
+    void scoreWrite(IndexScheme predicted, IndexScheme actual);
+
+    /** Zero the accuracy counters; the LTT's training is preserved. */
+    void resetStats();
+
+    /** SRAM cost of the predictor in bytes (LTT bits / 8). */
+    std::uint32_t storageBytes() const;
+
+    std::uint64_t readPredictions() const { return read_predictions_; }
+    std::uint64_t readMispredictions() const { return read_mispredicts_; }
+    std::uint64_t writePredictions() const { return write_predictions_; }
+    std::uint64_t writeMispredictions() const { return write_mispredicts_; }
+
+    /** Read-prediction accuracy in [0,1] (1.0 when unused). */
+    double readAccuracy() const;
+    double writeAccuracy() const;
+
+    StatGroup stats() const;
+
+  private:
+    std::uint32_t indexOf(LineAddr line) const;
+
+    std::vector<std::uint8_t> ltt_; // 1 bit per entry: 1 = BAI
+    std::uint64_t read_predictions_ = 0;
+    std::uint64_t read_mispredicts_ = 0;
+    std::uint64_t write_predictions_ = 0;
+    std::uint64_t write_mispredicts_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_CORE_CIP_HPP

@@ -1,0 +1,412 @@
+#include "compressed.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+const char *
+policyName(CompressionPolicy policy)
+{
+    switch (policy) {
+      case CompressionPolicy::TsiOnly:
+        return "comp-tsi";
+      case CompressionPolicy::NsiOnly:
+        return "comp-nsi";
+      case CompressionPolicy::BaiOnly:
+        return "comp-bai";
+      case CompressionPolicy::Dice:
+        return "dice";
+      default:
+        return "?";
+    }
+}
+
+CompressedDramCache::CompressedDramCache(
+    const CompressedCacheConfig &config, const LineDataSource &source,
+    std::string name)
+    : DramCache(config.base, std::move(name)), cfg_(config),
+      indexer_(floorLog2(config.base.capacity / kLineSize)),
+      mapper_(config.base.timing), source_(source),
+      cip_(config.cip_entries)
+{
+    dice_assert(isPowerOfTwo(config.base.capacity / kLineSize),
+                "compressed cache needs a power-of-two set count");
+    dice_assert(config.threshold_bytes <= kLineSize,
+                "threshold %u exceeds line size", config.threshold_bytes);
+}
+
+const char *
+CompressedDramCache::organization() const
+{
+    return policyName(cfg_.policy);
+}
+
+CompressedDramCache::Candidates
+CompressedDramCache::readCandidates(LineAddr line) const
+{
+    Candidates c{};
+    switch (cfg_.policy) {
+      case CompressionPolicy::TsiOnly:
+        c.primary = c.secondary = indexer_.tsi(line);
+        c.primary_scheme = IndexScheme::TSI;
+        c.single = true;
+        return c;
+      case CompressionPolicy::NsiOnly:
+        c.primary = c.secondary = indexer_.nsi(line);
+        c.primary_scheme = IndexScheme::NSI;
+        c.single = true;
+        return c;
+      case CompressionPolicy::BaiOnly:
+        c.primary = c.secondary = indexer_.bai(line);
+        c.primary_scheme = IndexScheme::BAI;
+        c.single = true;
+        return c;
+      case CompressionPolicy::Dice: {
+        if (indexer_.baiInvariant(line)) {
+            c.primary = c.secondary = indexer_.tsi(line);
+            c.primary_scheme = IndexScheme::TSI;
+            c.single = true;
+            return c;
+        }
+        const IndexScheme predicted = cip_.predictRead(line);
+        c.primary_scheme = predicted;
+        c.primary = indexer_.set(line, predicted);
+        c.secondary = SetIndexer::alternateSet(c.primary);
+        c.single = false;
+        return c;
+      }
+      default:
+        dice_panic("bad policy");
+    }
+}
+
+IndexScheme
+CompressedDramCache::installScheme(LineAddr line, std::uint32_t size,
+                                   bool &invariant) const
+{
+    invariant = false;
+    switch (cfg_.policy) {
+      case CompressionPolicy::TsiOnly:
+        return IndexScheme::TSI;
+      case CompressionPolicy::NsiOnly:
+        return IndexScheme::NSI;
+      case CompressionPolicy::BaiOnly:
+        return IndexScheme::BAI;
+      case CompressionPolicy::Dice:
+        if (indexer_.baiInvariant(line)) {
+            invariant = true;
+            return IndexScheme::TSI; // TSI == BAI for this line.
+        }
+        return size <= cfg_.threshold_bytes ? IndexScheme::BAI
+                                            : IndexScheme::TSI;
+      default:
+        dice_panic("bad policy");
+    }
+}
+
+std::uint32_t
+CompressedDramCache::sizeOf(LineAddr line, std::uint64_t payload) const
+{
+    const std::uint64_t key = mix64(line, payload);
+    const auto it = size_cache_.find(key);
+    if (it != size_cache_.end())
+        return it->second;
+    const std::uint32_t size =
+        codec_.compressedSizeBytes(source_.bytes(line, payload));
+    size_cache_.emplace(key, size);
+    return size;
+}
+
+L4ReadResult
+CompressedDramCache::read(LineAddr line, Cycle now)
+{
+    const Candidates cand = readCandidates(line);
+
+    L4ReadResult res;
+    const DramResult probe1 = device_.access(mapper_.coord(cand.primary),
+                                             readBytes(), now, false);
+    res.dram_accesses = 1;
+
+    auto finishHit = [&](std::uint64_t set_idx, const TadLookup &lk,
+                         Cycle data_done) {
+        res.hit = true;
+        res.done = data_done + config_.controller_latency +
+                   config_.decompression_latency;
+        res.payload = lk.payload;
+        if (lk.neighbor_present) {
+            res.has_extra = true;
+            res.extra_line = SetIndexer::spatialNeighbor(line);
+            res.extra_payload = lk.neighbor_payload;
+            ++extra_lines_;
+        }
+        sets_[set_idx].touch(line, ++lru_clock_);
+        ++read_hits_;
+    };
+
+    const auto primary_it = sets_.find(cand.primary);
+    TadLookup lk1;
+    if (primary_it != sets_.end())
+        lk1 = primary_it->second.lookup(line);
+
+    if (lk1.found) {
+        finishHit(cand.primary, lk1, probe1.done);
+        if (!cand.single)
+            cip_.updateRead(line, cand.primary_scheme);
+        return res;
+    }
+
+    if (cand.single) {
+        res.done = probe1.done + config_.controller_latency;
+        ++read_misses_;
+        return res;
+    }
+
+    // Two candidate locations. In Alloy mode the 8-B neighbor-tag burst
+    // tells us for free whether the line sits in the alternate set; a
+    // second access is issued only when it does. In KNL mode there is
+    // no neighbor tag, so the controller issues a merged probe of the
+    // alternate set whenever the first probe did not hit.
+    const auto secondary_it = sets_.find(cand.secondary);
+    TadLookup lk2;
+    if (secondary_it != sets_.end())
+        lk2 = secondary_it->second.lookup(line);
+
+    const IndexScheme alternate_scheme =
+        cand.primary_scheme == IndexScheme::BAI ? IndexScheme::TSI
+                                                : IndexScheme::BAI;
+
+    if (cfg_.knl_mode) {
+        const DramResult probe2 = device_.access(
+            mapper_.coord(cand.secondary), readBytes(), now, false);
+        ++res.dram_accesses;
+        if (lk2.found) {
+            ++second_probes_;
+            finishHit(cand.secondary, lk2,
+                      std::max(probe1.done, probe2.done));
+            cip_.updateRead(line, alternate_scheme);
+            return res;
+        }
+        res.done = std::max(probe1.done, probe2.done) +
+                   config_.controller_latency;
+        ++read_misses_;
+        return res;
+    }
+
+    if (lk2.found) {
+        const DramResult probe2 = device_.access(
+            mapper_.coord(cand.secondary), readBytes(), probe1.done,
+            false);
+        ++res.dram_accesses;
+        ++second_probes_;
+        finishHit(cand.secondary, lk2, probe2.done);
+        cip_.updateRead(line, alternate_scheme);
+        return res;
+    }
+
+    res.done = probe1.done + config_.controller_latency;
+    ++read_misses_;
+    return res;
+}
+
+void
+CompressedDramCache::removeResident(TadSet &set, LineAddr line)
+{
+    const TadLookup lk = set.lookup(line);
+    dice_assert(lk.found, "removeResident of absent line");
+    std::uint32_t survivor_bytes = 0;
+    if (lk.in_pair) {
+        const LineAddr neighbor = SetIndexer::spatialNeighbor(line);
+        const TadLookup nb = set.lookup(neighbor);
+        dice_assert(nb.found, "pair without its other half");
+        survivor_bytes = sizeOf(neighbor, nb.payload);
+    }
+    set.remove(line, survivor_bytes);
+}
+
+L4WriteResult
+CompressedDramCache::install(LineAddr line, std::uint64_t payload,
+                             bool dirty, Cycle now, bool after_read_miss)
+{
+    ++installs_;
+
+    const std::uint32_t size = sizeOf(line, payload);
+    bool invariant = false;
+    const IndexScheme scheme = installScheme(line, size, invariant);
+    const std::uint64_t target = indexer_.set(line, scheme);
+
+    if (cfg_.policy == CompressionPolicy::Dice) {
+        if (invariant) {
+            ++installs_invariant_;
+        } else if (scheme == IndexScheme::BAI) {
+            ++installs_bai_;
+        } else {
+            ++installs_tsi_;
+        }
+    }
+
+    L4WriteResult res;
+    res.dram_accesses = 0;
+    Cycle when = now;
+
+    // Writebacks (and fills whose read probe went to the other set)
+    // first read the target TAD to learn what is resident.
+    if (!after_read_miss) {
+        const DramResult probe =
+            device_.access(mapper_.coord(target), readBytes(), when,
+                           AccessKind::PostedRead);
+        when = probe.done;
+        ++res.dram_accesses;
+    }
+
+    const bool dual = cfg_.policy == CompressionPolicy::Dice && !invariant;
+    if (dual) {
+        // Score the size-based write predictor against where the line
+        // actually was.
+        const IndexScheme predicted =
+            cip_.predictWrite(size, cfg_.threshold_bytes);
+        IndexScheme actual = predicted;
+        const std::uint64_t tsi_set = indexer_.tsi(line);
+        const std::uint64_t bai_set = indexer_.bai(line);
+        const auto tsi_it = sets_.find(tsi_set);
+        const auto bai_it = sets_.find(bai_set);
+        if (tsi_it != sets_.end() && tsi_it->second.contains(line)) {
+            actual = IndexScheme::TSI;
+        } else if (bai_it != sets_.end() &&
+                   bai_it->second.contains(line)) {
+            actual = IndexScheme::BAI;
+        }
+        cip_.scoreWrite(predicted, actual);
+
+        // Scrub a stale copy from the alternate location so a line is
+        // never valid under both indexings at once.
+        const std::uint64_t other = SetIndexer::alternateSet(target);
+        const auto other_it = sets_.find(other);
+        if (other_it != sets_.end() && other_it->second.contains(line)) {
+            removeResident(other_it->second, line);
+            device_.access(mapper_.coord(other), 72, when, true);
+            ++res.dram_accesses;
+            ++duplicate_scrubs_;
+        }
+
+        cip_.train(line, scheme);
+    }
+
+    TadSet &set = sets_[target];
+
+    // An update of a resident line is a remove + reinsert with the new
+    // compressed size (its old copy is superseded, never written back).
+    if (set.contains(line))
+        removeResident(set, line);
+
+    // Try to merge with the spatial neighbor into a shared-tag pair.
+    const LineAddr neighbor = SetIndexer::spatialNeighbor(line);
+    const TadLookup nb = set.lookup(neighbor);
+    bool inserted = false;
+    if (nb.found && cfg_.pair_compression) {
+        const LineAddr base = SetIndexer::pairBase(line);
+        const Line even_bytes = source_.bytes(
+            base, (line & 1) == 0 ? payload : nb.payload);
+        const Line odd_bytes = source_.bytes(
+            base | 1, (line & 1) == 1 ? payload : nb.payload);
+        const std::uint32_t pair_bytes =
+            codec_.pairSizeBytes(even_bytes, odd_bytes);
+        if (kTadTagBytes + pair_bytes <= kTadSetBytes) { // pair fits a TAD
+            removeResident(set, neighbor);
+            while (!set.fits(pair_bytes, 2)) {
+                if (!set.evictLru(line, res.writebacks))
+                    dice_panic("cannot make room for pair");
+            }
+            const bool even_is_new = (line & 1) == 0;
+            set.insertPair(base, pair_bytes,
+                           even_is_new ? dirty : nb.dirty,
+                           even_is_new ? payload : nb.payload,
+                           even_is_new ? nb.dirty : dirty,
+                           even_is_new ? nb.payload : payload,
+                           scheme == IndexScheme::BAI, ++lru_clock_);
+            ++pair_installs_;
+            inserted = true;
+        }
+    }
+
+    if (!inserted) {
+        while (!set.fits(size, 1)) {
+            if (!set.evictLru(line, res.writebacks))
+                dice_panic("cannot make room for line");
+        }
+        set.insertSingle(line, size, dirty, payload,
+                         scheme == IndexScheme::BAI, ++lru_clock_);
+    }
+
+    device_.access(mapper_.coord(target), 72, when, true);
+    ++res.dram_accesses;
+    return res;
+}
+
+bool
+CompressedDramCache::contains(LineAddr line) const
+{
+    for (const IndexScheme scheme :
+         {IndexScheme::TSI, IndexScheme::NSI, IndexScheme::BAI}) {
+        const auto it = sets_.find(indexer_.set(line, scheme));
+        if (it != sets_.end() && it->second.contains(line))
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+CompressedDramCache::validLines() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[idx, set] : sets_)
+        total += set.lineCount();
+    return total;
+}
+
+std::uint64_t
+CompressedDramCache::bytesUsed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[idx, set] : sets_)
+        total += set.bytesUsed();
+    return total;
+}
+
+void
+CompressedDramCache::resetStats()
+{
+    DramCache::resetStats();
+    installs_invariant_ = installs_bai_ = installs_tsi_ = 0;
+    pair_installs_ = second_probes_ = duplicate_scrubs_ = 0;
+    cip_.resetStats();
+}
+
+StatGroup
+CompressedDramCache::stats() const
+{
+    StatGroup g = DramCache::stats();
+    g.addFormula("installs_invariant",
+                 [this]() { return double(installs_invariant_); });
+    g.addFormula("installs_bai",
+                 [this]() { return double(installs_bai_); });
+    g.addFormula("installs_tsi",
+                 [this]() { return double(installs_tsi_); });
+    g.addFormula("pair_installs",
+                 [this]() { return double(pair_installs_); });
+    g.addFormula("second_probes",
+                 [this]() { return double(second_probes_); });
+    g.addFormula("duplicate_scrubs",
+                 [this]() { return double(duplicate_scrubs_); });
+    g.addFormula("cip_read_accuracy",
+                 [this]() { return cip_.readAccuracy(); });
+    g.addFormula("cip_write_accuracy",
+                 [this]() { return cip_.writeAccuracy(); });
+    return g;
+}
+
+} // namespace dice

@@ -1,0 +1,21 @@
+#include "data_source.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+Line
+RandomDataSource::bytes(LineAddr line, std::uint64_t version) const
+{
+    Line out;
+    for (std::uint32_t i = 0; i < kLineSize / 8; ++i) {
+        const std::uint64_t w = mix64(mix64(line, version), i);
+        std::memcpy(out.data() + 8 * i, &w, 8);
+    }
+    return out;
+}
+
+} // namespace dice

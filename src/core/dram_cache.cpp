@@ -1,0 +1,35 @@
+#include "dram_cache.hpp"
+
+namespace dice
+{
+
+void
+DramCache::resetStats()
+{
+    read_hits_ = read_misses_ = extra_lines_ = installs_ = 0;
+    device_.resetStats();
+}
+
+double
+DramCache::hitRate() const
+{
+    const std::uint64_t total = read_hits_ + read_misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(read_hits_) /
+                            static_cast<double>(total);
+}
+
+StatGroup
+DramCache::stats() const
+{
+    StatGroup g(organization());
+    g.addFormula("read_hits", [this]() { return double(read_hits_); });
+    g.addFormula("read_misses", [this]() { return double(read_misses_); });
+    g.addFormula("hit_rate", [this]() { return hitRate(); });
+    g.addFormula("extra_lines", [this]() { return double(extra_lines_); });
+    g.addFormula("installs", [this]() { return double(installs_); });
+    g.addFormula("valid_lines", [this]() { return double(validLines()); });
+    return g;
+}
+
+} // namespace dice

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Common interface of every L4 DRAM-cache organization in the study:
+ * the uncompressed Alloy baseline (and its ideal 2x variants), the
+ * compressed cache under TSI / NSI / BAI / DICE policies, the KNL-style
+ * tags-in-ECC variant, and the SCC baseline.
+ *
+ * The cache owns its DRAM timing substrate (a DramDevice); the system
+ * model calls read() for demand accesses and install() for fills and
+ * writebacks, and forwards the returned dirty victims to main memory.
+ */
+
+#ifndef DICE_CORE_DRAM_CACHE_HPP
+#define DICE_CORE_DRAM_CACHE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cache/sram_cache.hpp" // EvictedLine
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+#include "dram/timing.hpp"
+
+namespace dice
+{
+
+/** Configuration shared by all DRAM-cache organizations. */
+struct DramCacheConfig
+{
+    /** Data capacity (bytes); sets = capacity / 64 B. */
+    std::uint64_t capacity = 64_MiB;
+    /** Timing/geometry of the stacked-DRAM substrate. */
+    DramTiming timing = DramTiming::stackedL4();
+    /** Fixed controller overhead added to every access (cycles). */
+    Cycle controller_latency = 6;
+    /** Decompression latency charged on compressed hits (cycles). */
+    Cycle decompression_latency = 2;
+};
+
+/** Outcome of a demand read presented to the L4. */
+struct L4ReadResult
+{
+    bool hit = false;
+    /** Cycle the requested data (or the miss verdict) is available. */
+    Cycle done = 0;
+    /** DRAM-cache accesses consumed (1, or 2 on CIP misprediction). */
+    std::uint32_t dram_accesses = 1;
+    /** Data version of the requested line (valid on hit). */
+    std::uint64_t payload = 0;
+    /** True when a useful spatial neighbor came along for free. */
+    bool has_extra = false;
+    LineAddr extra_line = 0;
+    std::uint64_t extra_payload = 0;
+};
+
+/** Outcome of an install (fill from memory or writeback from L3). */
+struct L4WriteResult
+{
+    /** DRAM-cache accesses consumed. */
+    std::uint32_t dram_accesses = 1;
+    /** Dirty victims that must now be written to main memory. */
+    std::vector<EvictedLine> writebacks;
+};
+
+/** Abstract L4 DRAM cache. */
+class DramCache
+{
+  public:
+    explicit DramCache(const DramCacheConfig &config, std::string name)
+        : config_(config), device_(std::move(name), config.timing)
+    {
+    }
+
+    virtual ~DramCache() = default;
+
+    /** Demand read of @p line arriving at cycle @p now. */
+    virtual L4ReadResult read(LineAddr line, Cycle now) = 0;
+
+    /**
+     * Install @p line (demand fill when @p dirty is false, writeback
+     * from L3 when true). @p after_read_miss marks fills that directly
+     * follow a read() miss of the same line, whose probe already
+     * streamed the victim set.
+     */
+    virtual L4WriteResult install(LineAddr line, std::uint64_t payload,
+                                  bool dirty, Cycle now,
+                                  bool after_read_miss) = 0;
+
+    /** True when @p line is resident (functional check, no timing). */
+    virtual bool contains(LineAddr line) const = 0;
+
+    /** Number of valid logical lines (for effective-capacity studies). */
+    virtual std::uint64_t validLines() const = 0;
+
+    /** Organization name for reports. */
+    virtual const char *organization() const = 0;
+
+    virtual void resetStats();
+
+    virtual StatGroup stats() const;
+
+    DramDevice &device() { return device_; }
+    const DramDevice &device() const { return device_; }
+    const DramCacheConfig &config() const { return config_; }
+
+    std::uint64_t readHits() const { return read_hits_; }
+    std::uint64_t readMisses() const { return read_misses_; }
+    std::uint64_t extraLinesSupplied() const { return extra_lines_; }
+
+    /** Demand-read hit rate. */
+    double hitRate() const;
+
+  protected:
+    DramCacheConfig config_;
+    DramDevice device_;
+
+    std::uint64_t read_hits_ = 0;
+    std::uint64_t read_misses_ = 0;
+    std::uint64_t extra_lines_ = 0;
+    std::uint64_t installs_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_CORE_DRAM_CACHE_HPP

@@ -1,0 +1,68 @@
+#include "mapi.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+MapI::MapI(std::uint32_t entries) : table_(entries, kThreshold)
+{
+    dice_assert(entries > 0, "MAP-I with empty table");
+}
+
+std::uint32_t
+MapI::indexOf(std::uint64_t pc) const
+{
+    return static_cast<std::uint32_t>(mix64(pc) % table_.size());
+}
+
+bool
+MapI::predictHit(std::uint64_t pc) const
+{
+    return table_[indexOf(pc)] >= kThreshold;
+}
+
+void
+MapI::update(std::uint64_t pc, bool was_hit)
+{
+    const bool predicted_hit = predictHit(pc);
+    ++predictions_;
+    if (predicted_hit != was_hit)
+        ++mispredicts_;
+
+    std::uint8_t &ctr = table_[indexOf(pc)];
+    if (was_hit) {
+        if (ctr < kMax)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+MapI::resetStats()
+{
+    predictions_ = mispredicts_ = 0;
+}
+
+double
+MapI::accuracy() const
+{
+    if (predictions_ == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(mispredicts_) /
+                     static_cast<double>(predictions_);
+}
+
+StatGroup
+MapI::stats() const
+{
+    StatGroup g("mapi");
+    g.addFormula("predictions", [this]() { return double(predictions_); });
+    g.addFormula("accuracy", [this]() { return accuracy(); });
+    return g;
+}
+
+} // namespace dice

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MAP-I: instruction-based Memory Access Predictor (Qureshi & Loh,
+ * MICRO 2012), used by the Alloy-style L4 to hide tag-lookup latency on
+ * misses. Indexed by a hash of the requesting instruction's PC, each
+ * entry is a saturating counter; a predicted miss lets the controller
+ * start the main-memory access in parallel with the L4 probe.
+ */
+
+#ifndef DICE_CORE_MAPI_HPP
+#define DICE_CORE_MAPI_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** PC-indexed hit/miss predictor with 3-bit saturating counters. */
+class MapI
+{
+  public:
+    /** @param entries Counter-table size (256 x 3 bits = 96 B). */
+    explicit MapI(std::uint32_t entries = 256);
+
+    /** True when a read from @p pc is predicted to *hit* in L4. */
+    bool predictHit(std::uint64_t pc) const;
+
+    /** Train with the observed outcome and score the prediction. */
+    void update(std::uint64_t pc, bool was_hit);
+
+    /** Zero the accuracy counters; counter training is preserved. */
+    void resetStats();
+
+    double accuracy() const;
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredicts_; }
+
+    StatGroup stats() const;
+
+  private:
+    std::uint32_t indexOf(std::uint64_t pc) const;
+
+    static constexpr std::uint8_t kMax = 7;
+    static constexpr std::uint8_t kThreshold = 4;
+
+    std::vector<std::uint8_t> table_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_CORE_MAPI_HPP

@@ -1,0 +1,213 @@
+#include "tad.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dice
+{
+
+std::uint32_t
+TadSet::bytesUsed() const
+{
+    std::uint32_t total = 0;
+    for (const TadItem &it : items_)
+        total += tag_bytes_ + it.data_bytes;
+    return total;
+}
+
+std::uint32_t
+TadSet::lineCount() const
+{
+    std::uint32_t total = 0;
+    for (const TadItem &it : items_)
+        total += it.lineCount();
+    return total;
+}
+
+TadItem *
+TadSet::find(LineAddr line)
+{
+    for (TadItem &it : items_) {
+        if (it.holds(line))
+            return &it;
+    }
+    return nullptr;
+}
+
+const TadItem *
+TadSet::find(LineAddr line) const
+{
+    return const_cast<TadSet *>(this)->find(line);
+}
+
+TadLookup
+TadSet::lookup(LineAddr line) const
+{
+    TadLookup res;
+    const TadItem *it = find(line);
+    if (!it)
+        return res;
+
+    const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
+    res.found = true;
+    res.dirty = it->dirty[slot];
+    res.bai = it->bai;
+    res.in_pair = it->is_pair;
+    res.payload = it->payload[slot];
+
+    const LineAddr neighbor = line ^ 1;
+    if (const TadItem *nb = find(neighbor)) {
+        const std::uint32_t nslot = nb->is_pair ? (neighbor & 1) : 0;
+        res.neighbor_present = true;
+        res.neighbor_payload = nb->payload[nslot];
+    }
+    return res;
+}
+
+bool
+TadSet::contains(LineAddr line) const
+{
+    return find(line) != nullptr;
+}
+
+void
+TadSet::touch(LineAddr line, std::uint64_t lru_stamp)
+{
+    if (TadItem *it = find(line))
+        it->lru = lru_stamp;
+}
+
+bool
+TadSet::markDirty(LineAddr line, std::uint64_t payload)
+{
+    TadItem *it = find(line);
+    if (!it)
+        return false;
+    const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
+    it->dirty[slot] = true;
+    it->payload[slot] = payload;
+    return true;
+}
+
+std::optional<EvictedLine>
+TadSet::remove(LineAddr line, std::uint32_t remaining_bytes)
+{
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        TadItem &it = items_[i];
+        if (!it.holds(line))
+            continue;
+
+        std::optional<EvictedLine> out;
+        if (!it.is_pair) {
+            if (it.dirty[0])
+                out = EvictedLine{it.base, true, it.payload[0]};
+            items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+            return out;
+        }
+
+        const std::uint32_t slot = line & 1;
+        if (it.dirty[slot])
+            out = EvictedLine{line, true, it.payload[slot]};
+        it.valid[slot] = false;
+        it.dirty[slot] = false;
+
+        const std::uint32_t other = slot ^ 1;
+        if (!it.valid[other]) {
+            items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+            return out;
+        }
+        // The survivor becomes a single-line item.
+        TadItem single;
+        single.base = it.base | other;
+        single.is_pair = false;
+        single.valid[0] = true;
+        single.dirty[0] = it.dirty[other];
+        single.payload[0] = it.payload[other];
+        single.data_bytes = static_cast<std::uint16_t>(remaining_bytes);
+        single.bai = it.bai;
+        single.lru = it.lru;
+        items_[i] = single;
+        return out;
+    }
+    return std::nullopt;
+}
+
+bool
+TadSet::evictLru(LineAddr protect, std::vector<EvictedLine> &writebacks)
+{
+    std::size_t victim = items_.size();
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].holds(protect))
+            continue;
+        if (items_[i].is_pair && (protect | 1) == (items_[i].base | 1))
+            continue; // Never split the protected line's own pair item.
+        if (victim == items_.size() || items_[i].lru < items_[victim].lru)
+            victim = i;
+    }
+    if (victim == items_.size())
+        return false;
+
+    const TadItem &it = items_[victim];
+    for (std::uint32_t slot = 0; slot < 2; ++slot) {
+        if (it.valid[slot] && it.dirty[slot]) {
+            writebacks.push_back(
+                EvictedLine{it.base | slot, true, it.payload[slot]});
+        }
+    }
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(victim));
+    return true;
+}
+
+void
+TadSet::insertSingle(LineAddr line, std::uint32_t data_bytes, bool dirty,
+                     std::uint64_t payload, bool bai,
+                     std::uint64_t lru_stamp)
+{
+    dice_assert(!contains(line), "insertSingle of resident line");
+    TadItem it;
+    it.base = line;
+    it.is_pair = false;
+    it.valid[0] = true;
+    it.dirty[0] = dirty;
+    it.payload[0] = payload;
+    it.data_bytes = static_cast<std::uint16_t>(data_bytes);
+    it.bai = bai;
+    it.lru = lru_stamp;
+    items_.push_back(it);
+
+    dice_assert(bytesUsed() <= budget_bytes_, "set overfull: %u bytes",
+                bytesUsed());
+    dice_assert(lineCount() <= max_lines_, "set overfull: %u lines",
+                lineCount());
+}
+
+void
+TadSet::insertPair(LineAddr base, std::uint32_t data_bytes, bool dirty0,
+                   std::uint64_t payload0, bool dirty1,
+                   std::uint64_t payload1, bool bai,
+                   std::uint64_t lru_stamp)
+{
+    dice_assert((base & 1) == 0, "pair base must be even");
+    dice_assert(!contains(base) && !contains(base | 1),
+                "insertPair over resident lines");
+    TadItem it;
+    it.base = base;
+    it.is_pair = true;
+    it.valid[0] = it.valid[1] = true;
+    it.dirty[0] = dirty0;
+    it.dirty[1] = dirty1;
+    it.payload[0] = payload0;
+    it.payload[1] = payload1;
+    it.data_bytes = static_cast<std::uint16_t>(data_bytes);
+    it.bai = bai;
+    it.lru = lru_stamp;
+    items_.push_back(it);
+
+    dice_assert(bytesUsed() <= budget_bytes_, "set overfull: %u bytes",
+                bytesUsed());
+    dice_assert(lineCount() <= max_lines_, "set overfull: %u lines",
+                lineCount());
+}
+
+} // namespace dice

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Flexible tag-and-data (TAD) set layout for the compressed DRAM cache
+ * (paper Figure 5).
+ *
+ * Each physical set provides 72 bytes that the controller may interpret
+ * freely as tag or data. Every resident item pays one 4-B tag (18-b tag,
+ * valid/dirty/BAI/shared-tag/next-tag-valid flags, and up to 9 bits of
+ * FPC/BDI metadata) plus its compressed payload. A spatially-contiguous
+ * pair compressed together shares a single tag ("shared tag" bit) and,
+ * under BDI, a single base — that is what lets two lines fit when their
+ * joint payload is <= 68 B. At most 28 logical lines fit in one set.
+ */
+
+#ifndef DICE_CORE_TAD_HPP
+#define DICE_CORE_TAD_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/sram_cache.hpp" // EvictedLine
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Physical bytes available per set (the Alloy 72-B TAD). */
+inline constexpr std::uint32_t kTadSetBytes = 72;
+
+/** Bytes charged per (possibly shared) tag entry. */
+inline constexpr std::uint32_t kTadTagBytes = 4;
+
+/** Maximum logical lines one set may hold (Figure 5). */
+inline constexpr std::uint32_t kTadMaxLines = 28;
+
+/** Tag size of the baseline uncompressed Alloy TAD (Figure 2). */
+inline constexpr std::uint32_t kAlloyTagBytes = 8;
+
+/**
+ * One resident item: either a single line or a shared-tag pair of
+ * spatially-adjacent lines compressed together.
+ */
+struct TadItem
+{
+    /** The line itself (single), or the even line of the pair. */
+    LineAddr base = 0;
+    bool is_pair = false;
+    /** Validity of [0]=base and [1]=base^1 (singles use slot 0 only). */
+    bool valid[2] = {false, false};
+    bool dirty[2] = {false, false};
+    /** Data-version payloads (see LineDataSource). */
+    std::uint64_t payload[2] = {0, 0};
+    /** Total compressed payload bytes of the item. */
+    std::uint16_t data_bytes = 0;
+    /** True when the item was installed via BAI indexing. */
+    bool bai = false;
+    /** LRU timestamp (larger = more recent). */
+    std::uint64_t lru = 0;
+
+    /** Number of valid logical lines in the item. */
+    std::uint32_t
+    lineCount() const
+    {
+        return (valid[0] ? 1u : 0u) + (valid[1] ? 1u : 0u);
+    }
+
+    /** True when the item holds @p line. */
+    bool
+    holds(LineAddr line) const
+    {
+        if (is_pair)
+            return (line | 1) == (base | 1) && valid[line & 1];
+        return valid[0] && base == line;
+    }
+};
+
+/** Result of looking a line up within a set. */
+struct TadLookup
+{
+    bool found = false;
+    bool dirty = false;
+    bool bai = false;
+    /** True when the line lives inside a shared-tag pair item. */
+    bool in_pair = false;
+    std::uint64_t payload = 0;
+    /** True when the spatial neighbor (line^1) is also in this set. */
+    bool neighbor_present = false;
+    std::uint64_t neighbor_payload = 0;
+};
+
+/** One compressed DRAM-cache set: items + byte/line accounting. */
+class TadSet
+{
+  public:
+    /**
+     * @param budget_bytes Physical bytes the set provides (72 for the
+     *        Alloy TAD; larger for associative organizations like SCC).
+     * @param max_lines Logical-line cap (28 for the Alloy TAD format).
+     * @param tag_bytes Bytes charged per (possibly shared) tag.
+     */
+    explicit TadSet(std::uint32_t budget_bytes = kTadSetBytes,
+                    std::uint32_t max_lines = kTadMaxLines,
+                    std::uint32_t tag_bytes = kTadTagBytes)
+        : budget_bytes_(budget_bytes), max_lines_(max_lines),
+          tag_bytes_(tag_bytes)
+    {
+    }
+
+    /** Bytes currently consumed by tags + payloads. */
+    std::uint32_t bytesUsed() const;
+
+    /** Valid logical lines resident. */
+    std::uint32_t lineCount() const;
+
+    /**
+     * True when an item with @p extra_data payload bytes (plus one
+     * tag) holding @p extra_lines lines would still fit.
+     */
+    bool
+    fits(std::uint32_t extra_data, std::uint32_t extra_lines) const
+    {
+        return bytesUsed() + tag_bytes_ + extra_data <= budget_bytes_ &&
+               lineCount() + extra_lines <= max_lines_;
+    }
+
+    /** Look up @p line; also reports a co-resident spatial neighbor. */
+    TadLookup lookup(LineAddr line) const;
+
+    /** True when @p line is resident. */
+    bool contains(LineAddr line) const;
+
+    /** Refresh LRU state of the item holding @p line. */
+    void touch(LineAddr line, std::uint64_t lru_stamp);
+
+    /** Mark a resident line dirty and replace its payload. */
+    bool markDirty(LineAddr line, std::uint64_t payload);
+
+    /**
+     * Remove @p line. A pair containing it keeps its other half (the
+     * item reverts to a single with @p remaining_bytes payload bytes).
+     * @return the removed line's state when it was dirty.
+     */
+    std::optional<EvictedLine> remove(LineAddr line,
+                                      std::uint32_t remaining_bytes);
+
+    /**
+     * Evict the least-recently-used whole item, never the item holding
+     * @p protect. Dirty halves are appended to @p writebacks.
+     * @return false when nothing evictable remains.
+     */
+    bool evictLru(LineAddr protect, std::vector<EvictedLine> &writebacks);
+
+    /** Insert a single-line item; caller must have made room. */
+    void insertSingle(LineAddr line, std::uint32_t data_bytes, bool dirty,
+                      std::uint64_t payload, bool bai,
+                      std::uint64_t lru_stamp);
+
+    /**
+     * Insert (or replace the singles with) a shared-tag pair for lines
+     * (base, base^1); caller must have made room *after* accounting for
+     * the removal of any existing singles of the pair.
+     */
+    void insertPair(LineAddr base, std::uint32_t data_bytes,
+                    bool dirty0, std::uint64_t payload0, bool dirty1,
+                    std::uint64_t payload1, bool bai,
+                    std::uint64_t lru_stamp);
+
+    const std::vector<TadItem> &items() const { return items_; }
+
+  private:
+    TadItem *find(LineAddr line);
+    const TadItem *find(LineAddr line) const;
+
+    std::uint32_t budget_bytes_;
+    std::uint32_t max_lines_;
+    std::uint32_t tag_bytes_;
+    std::vector<TadItem> items_;
+};
+
+} // namespace dice
+
+#endif // DICE_CORE_TAD_HPP

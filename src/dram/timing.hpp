@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DRAM device timing/geometry parameters, with presets matching the
+ * paper's Table 2 (all times in CPU cycles at 3.2 GHz).
+ *
+ * Both the stacked-DRAM L4 substrate (HBM-like: 4 channels, 128-bit bus)
+ * and the DDR main memory (1 channel, 64-bit bus) instantiate the same
+ * model with different parameters; per the paper, access latencies are
+ * identical and only bandwidth differs (8x).
+ */
+
+#ifndef DICE_DRAM_TIMING_HPP
+#define DICE_DRAM_TIMING_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Timing and geometry of one DRAM device (stacked or DIMM). */
+struct DramTiming
+{
+    /** Column access strobe latency (CPU cycles). */
+    Cycle tCAS = 44;
+    /** RAS-to-CAS delay (CPU cycles). */
+    Cycle tRCD = 44;
+    /** Row precharge (CPU cycles). */
+    Cycle tRP = 44;
+    /** Row-active minimum (CPU cycles). */
+    Cycle tRAS = 112;
+
+    /** Independent channels. */
+    std::uint32_t channels = 4;
+    /** Banks per channel. */
+    std::uint32_t banks_per_channel = 16;
+    /** Data-bus width in bytes per beat (16 = 128-bit). */
+    std::uint32_t bus_bytes_per_beat = 16;
+    /**
+     * CPU cycles per data beat. The 800 MHz DDR bus transfers at
+     * 1.6 GT/s; with a 3.2 GHz core that is 2 CPU cycles per beat.
+     */
+    Cycle cpu_cycles_per_beat = 2;
+    /** Write-queue high watermark, in cycles of buffered data-bus
+     *  transfer per channel (~96 writes of 72 B at 5 beats each). */
+    Cycle write_queue_cycles = 640;
+    /** Row-buffer size in bytes (per bank). */
+    std::uint32_t row_bytes = 2048;
+
+    /** Stacked-DRAM L4 preset (Table 2: 4ch x 128-bit @ DDR-1.6). */
+    static DramTiming
+    stackedL4()
+    {
+        return DramTiming{};
+    }
+
+    /** DDR main-memory preset (Table 2: 1ch x 64-bit @ DDR-1.6). */
+    static DramTiming
+    mainMemoryDdr()
+    {
+        DramTiming t;
+        t.channels = 1;
+        t.bus_bytes_per_beat = 8;
+        return t;
+    }
+
+    /** Beats needed to move @p bytes. */
+    std::uint32_t
+    beatsFor(std::uint32_t bytes) const
+    {
+        return (bytes + bus_bytes_per_beat - 1) / bus_bytes_per_beat;
+    }
+
+    /** Data-bus occupancy in CPU cycles for a @p bytes transfer. */
+    Cycle
+    transferCycles(std::uint32_t bytes) const
+    {
+        return static_cast<Cycle>(beatsFor(bytes)) * cpu_cycles_per_beat;
+    }
+
+    /** Peak bandwidth in bytes per CPU cycle, across all channels. */
+    double
+    peakBytesPerCycle() const
+    {
+        return static_cast<double>(channels) * bus_bytes_per_beat /
+               static_cast<double>(cpu_cycles_per_beat);
+    }
+};
+
+} // namespace dice
+
+#endif // DICE_DRAM_TIMING_HPP

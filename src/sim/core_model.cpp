@@ -1,0 +1,52 @@
+#include "core_model.hpp"
+
+#include <algorithm>
+
+namespace dice
+{
+
+Cycle
+TraceCore::prepareIssue(std::uint32_t gap_instr)
+{
+    instr_ += gap_instr + 1; // the gap plus the memory instruction
+    frac_ += gap_instr + 1;
+    cycle_ += frac_ / config_.issue_width;
+    frac_ %= config_.issue_width;
+
+    // Retire loads whose data already returned.
+    while (!inflight_.empty() && inflight_.front().done <= cycle_)
+        inflight_.pop_front();
+
+    // ROB: an instruction cannot enter while a load older than
+    // (instr_ - rob_size) is still blocking retirement.
+    while (!inflight_.empty() &&
+           inflight_.front().pos + config_.rob_size <= instr_) {
+        cycle_ = std::max(cycle_, inflight_.front().done);
+        inflight_.pop_front();
+    }
+
+    // MSHRs: bound outstanding misses.
+    while (inflight_.size() >= config_.mshrs) {
+        cycle_ = std::max(cycle_, inflight_.front().done);
+        inflight_.pop_front();
+    }
+
+    return cycle_;
+}
+
+void
+TraceCore::completeLoad(Cycle done)
+{
+    if (done > cycle_)
+        inflight_.push_back(InFlight{instr_, done});
+}
+
+void
+TraceCore::finish()
+{
+    for (const InFlight &l : inflight_)
+        cycle_ = std::max(cycle_, l.done);
+    inflight_.clear();
+}
+
+} // namespace dice

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ROB/MLP-limited trace-driven core model.
+ *
+ * The core issues instructions at a fixed width; loads occupy reorder-
+ * buffer slots until their data returns, and at most `mshrs` loads can
+ * be outstanding. The model captures the two first-order effects the
+ * study depends on: memory-level parallelism (overlapping misses) and
+ * stall time that scales with memory latency under bandwidth pressure.
+ * Stores are fire-and-forget (post-commit write buffer).
+ */
+
+#ifndef DICE_SIM_CORE_MODEL_HPP
+#define DICE_SIM_CORE_MODEL_HPP
+
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Microarchitectural parameters (paper Table 2: 4-wide OoO). */
+struct CoreConfig
+{
+    std::uint32_t issue_width = 4;
+    std::uint32_t rob_size = 192;
+    /** Maximum overlapping outstanding loads. */
+    std::uint32_t mshrs = 8;
+};
+
+/** One simulated core consuming a reference trace. */
+class TraceCore
+{
+  public:
+    explicit TraceCore(const CoreConfig &config) : config_(config) {}
+
+    /**
+     * Account @p gap_instr non-memory instructions and compute the
+     * cycle at which the next memory reference can issue, honoring
+     * ROB occupancy and MSHR limits. Mutates core state.
+     */
+    Cycle prepareIssue(std::uint32_t gap_instr);
+
+    /** Register a blocking load issued at the last prepareIssue(). */
+    void completeLoad(Cycle done);
+
+    /** Drain all outstanding loads (end of trace). */
+    void finish();
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t instructions() const { return instr_; }
+
+    /** Cheap estimate of the next issue time (for event ordering). */
+    Cycle
+    estimateNextIssue(std::uint32_t gap_instr) const
+    {
+        return cycle_ + gap_instr / config_.issue_width;
+    }
+
+  private:
+    struct InFlight
+    {
+        std::uint64_t pos;  ///< Instruction position of the load.
+        Cycle done;         ///< Cycle its data returns.
+    };
+
+    CoreConfig config_;
+    Cycle cycle_ = 0;
+    std::uint64_t instr_ = 0;
+    std::uint32_t frac_ = 0; ///< Sub-width instruction remainder.
+    std::deque<InFlight> inflight_;
+};
+
+} // namespace dice
+
+#endif // DICE_SIM_CORE_MODEL_HPP

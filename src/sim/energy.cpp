@@ -1,0 +1,33 @@
+#include "energy.hpp"
+
+namespace dice
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, const DramDevice *l4,
+              const DramDevice &mem, Cycle cycles)
+{
+    EnergyBreakdown e;
+    if (l4) {
+        e.l4_nj = (static_cast<double>(l4->bytesMoved()) *
+                       params.l4_pj_per_byte +
+                   static_cast<double>(l4->activations()) *
+                       params.l4_pj_per_activate) /
+                  1e3;
+    }
+    e.mem_nj = (static_cast<double>(mem.bytesMoved()) *
+                    params.mem_pj_per_byte +
+                static_cast<double>(mem.activations()) *
+                    params.mem_pj_per_activate) /
+               1e3;
+
+    e.seconds = static_cast<double>(cycles) /
+                (params.cpu_freq_ghz * 1e9);
+    e.background_nj = params.background_mw * 1e-3 * e.seconds * 1e9;
+    e.total_nj = e.l4_nj + e.mem_nj + e.background_nj;
+    e.avg_power_w = e.seconds > 0.0 ? e.total_nj * 1e-9 / e.seconds : 0.0;
+    e.edp = e.total_nj * e.seconds;
+    return e;
+}
+
+} // namespace dice

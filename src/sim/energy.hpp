@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Activity-based off-chip energy model (paper Section 6.9, Figure 14).
+ *
+ * Energy is charged per byte moved and per row activation at each DRAM
+ * device, plus a constant background power; performance (delay) comes
+ * from the timing simulation. The paper's energy result is driven by
+ * DICE reducing DRAM-cache and memory access counts, which this model
+ * captures directly.
+ */
+
+#ifndef DICE_SIM_ENERGY_HPP
+#define DICE_SIM_ENERGY_HPP
+
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+
+namespace dice
+{
+
+/** Energy/power coefficients (HBM vs DDR rough constants). */
+struct EnergyParams
+{
+    /** Stacked-DRAM I/O + array energy per byte (pJ); ~7 pJ/bit. */
+    double l4_pj_per_byte = 56.0;
+    /** Stacked-DRAM row activation energy (pJ). */
+    double l4_pj_per_activate = 2000.0;
+    /** Off-chip DDR energy per byte (pJ); ~20 pJ/bit. */
+    double mem_pj_per_byte = 160.0;
+    /** DDR row activation energy (pJ). */
+    double mem_pj_per_activate = 3000.0;
+    /** Combined L4+memory background power (mW). */
+    double background_mw = 400.0;
+    /** Core clock for converting cycles to seconds (GHz). */
+    double cpu_freq_ghz = 3.2;
+};
+
+/** Result of an energy evaluation over one run. */
+struct EnergyBreakdown
+{
+    double l4_nj = 0.0;
+    double mem_nj = 0.0;
+    double background_nj = 0.0;
+    double total_nj = 0.0;
+    /** Average off-chip power over the run (W). */
+    double avg_power_w = 0.0;
+    /** Energy-delay product (nJ * s). */
+    double edp = 0.0;
+    double seconds = 0.0;
+};
+
+/**
+ * Charge @p l4 and @p mem device activity over @p cycles. @p l4 may be
+ * null for a system without a DRAM cache.
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const DramDevice *l4, const DramDevice &mem,
+                              Cycle cycles);
+
+} // namespace dice
+
+#endif // DICE_SIM_ENERGY_HPP

@@ -1,0 +1,45 @@
+#include "memory.hpp"
+
+namespace dice
+{
+
+MainMemory::MainMemory(const DramTiming &timing)
+    : device_("mem", timing), lines_per_row_(timing.row_bytes / kLineSize)
+{
+}
+
+DramCoord
+MainMemory::coordOf(LineAddr line) const
+{
+    const DramTiming &t = device_.timing();
+    const std::uint64_t row_group = line / lines_per_row_;
+    DramCoord c;
+    c.channel = static_cast<std::uint32_t>(row_group % t.channels);
+    c.bank = static_cast<std::uint32_t>(
+        (row_group / t.channels) % t.banks_per_channel);
+    c.row = row_group /
+            (static_cast<std::uint64_t>(t.channels) * t.banks_per_channel);
+    return c;
+}
+
+DramResult
+MainMemory::read(LineAddr line, Cycle now)
+{
+    return device_.access(coordOf(line), kLineSize, now, false);
+}
+
+void
+MainMemory::write(LineAddr line, std::uint64_t version, Cycle now)
+{
+    device_.access(coordOf(line), kLineSize, now, true);
+    versions_[line] = version;
+}
+
+std::uint64_t
+MainMemory::versionOf(LineAddr line) const
+{
+    const auto it = versions_.find(line);
+    return it == versions_.end() ? 0 : it->second;
+}
+
+} // namespace dice

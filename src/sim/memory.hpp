@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Main-memory model: the DDR DramDevice for timing plus a functional
+ * store of per-line data versions (the full data bytes are regenerated
+ * from (line, version) by the workload data generator).
+ */
+
+#ifndef DICE_SIM_MEMORY_HPP
+#define DICE_SIM_MEMORY_HPP
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+#include "dram/timing.hpp"
+
+namespace dice
+{
+
+/** DDR main memory behind the L4 cache. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(
+        const DramTiming &timing = DramTiming::mainMemoryDdr());
+
+    /** Read @p line at cycle @p now; returns device completion times. */
+    DramResult read(LineAddr line, Cycle now);
+
+    /** Write back @p line (posted; consumes bandwidth). */
+    void write(LineAddr line, std::uint64_t version, Cycle now);
+
+    /** Current data version of @p line (0 if never written back). */
+    std::uint64_t versionOf(LineAddr line) const;
+
+    DramDevice &device() { return device_; }
+    const DramDevice &device() const { return device_; }
+
+  private:
+    DramCoord coordOf(LineAddr line) const;
+
+    DramDevice device_;
+    std::uint32_t lines_per_row_;
+    std::unordered_map<LineAddr, std::uint64_t> versions_;
+};
+
+} // namespace dice
+
+#endif // DICE_SIM_MEMORY_HPP

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Full-system assembly: N trace-driven cores -> (optional private
+ * L1/L2) -> shared L3 -> L4 DRAM cache -> DDR main memory, with MAP-I
+ * hit/miss prediction at the L4 boundary and the energy model on top.
+ *
+ * This is the driver every benchmark binary uses: construct a System
+ * from a SystemConfig plus one workload profile per core, call run(),
+ * and read the RunResult.
+ */
+
+#ifndef DICE_SIM_SYSTEM_HPP
+#define DICE_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/sram_cache.hpp"
+#include "core/compressed.hpp"
+#include "core/dram_cache.hpp"
+#include "core/mapi.hpp"
+#include "sim/core_model.hpp"
+#include "sim/energy.hpp"
+#include "sim/memory.hpp"
+#include "workloads/address_space.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/tracegen.hpp"
+
+namespace dice
+{
+
+/** Which L4 organization the system instantiates. */
+enum class L4Kind : std::uint8_t
+{
+    None,       ///< No DRAM cache: L3 misses go straight to DDR.
+    Alloy,      ///< Uncompressed Alloy baseline.
+    Compressed, ///< Compressed cache (policy in l4_comp).
+    Scc,        ///< Skewed-compressed-cache baseline.
+};
+
+/** Configuration of one simulated system. */
+struct SystemConfig
+{
+    std::uint32_t num_cores = 8;
+    CoreConfig core;
+
+    /** Private L1/L2 are modeled only when use_l1_l2 is set; the
+     *  benchmark harness drives L3-level traces for speed. */
+    bool use_l1_l2 = false;
+    SramCacheConfig l1{"l1", 16_KiB, 8, 4};
+    SramCacheConfig l2{"l2", 64_KiB, 8, 12};
+    SramCacheConfig l3{"l3", 256_KiB, 8, 30};
+
+    L4Kind l4_kind = L4Kind::Alloy;
+    /** Used for Alloy / SCC / None. */
+    DramCacheConfig l4_base;
+    /** Used for Compressed (its .base supplies capacity/timing). */
+    CompressedCacheConfig l4_comp;
+
+    DramTiming mem_timing = DramTiming::mainMemoryDdr();
+
+    /** Forward the free spatial neighbor from L4 hits into L3. */
+    bool extra_line_to_l3 = true;
+    /** L3 next-line prefetch (Table 7). */
+    bool l3_nextline_prefetch = false;
+    /** 128-B wide fetch at L3 (Table 7). */
+    bool l3_wide_fetch = false;
+
+    /**
+     * Footprints in profiles are expressed relative to a 1-GiB L4;
+     * they are scaled by reference_capacity / 1 GiB. Keeping this
+     * independent of the L4's actual capacity lets the 2x-capacity
+     * studies grow the cache without shrinking the workload.
+     */
+    std::uint64_t reference_capacity = 32_MiB;
+
+    /** L3-level references simulated per core (measurement phase). */
+    std::uint64_t refs_per_core = 200'000;
+
+    /**
+     * References per core executed before measurement begins: cache
+     * contents and predictor state carry over, statistics and cycle
+     * counting restart at the boundary.
+     */
+    std::uint64_t warmup_refs_per_core = 0;
+
+    EnergyParams energy;
+    std::uint64_t seed = 1;
+};
+
+/** Measurements from one run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::vector<Cycle> core_cycles;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    double l3_hit_rate = 0.0;
+    double l4_hit_rate = 0.0;
+    std::uint64_t l4_reads = 0;
+    std::uint64_t l4_extra_lines = 0;
+    std::uint64_t l4_second_probes = 0;
+
+    double cip_read_accuracy = 1.0;
+    double cip_write_accuracy = 1.0;
+    double mapi_accuracy = 1.0;
+
+    /** Install-index distribution (Figure 11); fractions of installs. */
+    double frac_invariant = 0.0;
+    double frac_bai = 0.0;
+    double frac_tsi = 0.0;
+
+    /** Mean valid lines sampled during the run (Table 5). */
+    double avg_valid_lines = 0.0;
+
+    std::uint64_t l4_bytes = 0;
+    std::uint64_t mem_bytes = 0;
+
+    /** Mean latency of demand reads that missed L3 (cycles). */
+    double avg_miss_latency = 0.0;
+
+    EnergyBreakdown energy;
+};
+
+/** One simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param config System parameters.
+     * @param core_profiles One workload profile per core (rate mode
+     *        replicates a single profile).
+     */
+    System(const SystemConfig &config,
+           std::vector<WorkloadProfile> core_profiles);
+
+    /** Simulate refs_per_core references on every core. */
+    RunResult run();
+
+    /** The L4, for white-box inspection in tests (may be null). */
+    DramCache *l4() { return l4_.get(); }
+    SramCache &l3() { return *l3_; }
+    MainMemory &memory() { return mem_; }
+    const DataGenerator &dataGenerator() const { return datagen_; }
+
+    /** Data version the system currently attributes to @p line. */
+    std::uint64_t expectedVersion(LineAddr line) const;
+
+  private:
+    struct CoreState
+    {
+        TraceCore core;
+        TraceGenerator gen;
+        std::unique_ptr<SramCache> l1;
+        std::unique_ptr<SramCache> l2;
+        std::uint64_t refs_done = 0;
+        MemRef pending{};
+    };
+
+    /** Process one reference of core @p cid; returns issue cycle. */
+    void step(std::uint32_t cid);
+
+    /** Run every core up to @p target_refs references. */
+    void runPhase(std::uint64_t target_refs);
+
+    /** Reset statistics at the warmup/measurement boundary. */
+    void resetAllStats();
+
+    /**
+     * Service an L3 miss for @p line at @p when; fills L3 (dirty with
+     * @p ver when @p make_dirty). Returns data-ready cycle.
+     */
+    Cycle fetchIntoL3(LineAddr line, Cycle when, std::uint64_t pc,
+                      bool make_dirty, std::uint64_t ver);
+
+    /** Install into L3, cascading dirty victims to L4/memory. */
+    void installIntoL3(LineAddr line, bool dirty, std::uint64_t payload,
+                       Cycle when);
+
+    /** Push a dirty line below L3 (L4 install or memory write). */
+    void writebackBelowL3(LineAddr line, std::uint64_t payload,
+                          Cycle when);
+
+    void drainWritebacks(const std::vector<EvictedLine> &wbs, Cycle when);
+
+    std::uint64_t bumpVersion(LineAddr line);
+
+    SystemConfig cfg_;
+    std::vector<WorkloadProfile> profiles_;
+    AddressSpace space_;
+    DataGenerator datagen_;
+    std::vector<CoreState> cores_;
+    std::unique_ptr<SramCache> l3_;
+    std::unique_ptr<DramCache> l4_;
+    MainMemory mem_;
+    MapI mapi_;
+
+    std::unordered_map<LineAddr, std::uint64_t> write_counts_;
+    std::uint64_t refs_total_ = 0;
+    double miss_latency_sum_ = 0.0;
+    std::uint64_t miss_latency_count_ = 0;
+    std::uint64_t valid_samples_ = 0;
+    double valid_accum_ = 0.0;
+    std::uint64_t sample_interval_ = 0;
+};
+
+/** Weighted speedup of @p test over @p base (per-core cycle ratios). */
+double weightedSpeedup(const RunResult &base, const RunResult &test);
+
+} // namespace dice
+
+#endif // DICE_SIM_SYSTEM_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Simple physical address-space allocator: hands out page-aligned,
+ * contiguous per-core regions. The reproduction uses identity VA->PA
+ * mapping with per-core bases (documented in DESIGN.md): line adjacency
+ * within a page — the property BAI exploits — is exactly preserved,
+ * and page-granularity data classes stay consistent across the system.
+ */
+
+#ifndef DICE_WORKLOADS_ADDRESS_SPACE_HPP
+#define DICE_WORKLOADS_ADDRESS_SPACE_HPP
+
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Bump allocator over the simulated physical line space. */
+class AddressSpace
+{
+  public:
+    /**
+     * Reserve @p lines lines (rounded up to a page multiple), plus a
+     * guard page so regions never share a page.
+     * @return the first line of the region.
+     */
+    LineAddr
+    allocate(std::uint64_t lines)
+    {
+        const std::uint64_t pages =
+            (lines + kLinesPerPage - 1) / kLinesPerPage + 1;
+        const LineAddr start = next_;
+        next_ += pages * kLinesPerPage;
+        return start;
+    }
+
+    /** Total lines reserved so far. */
+    std::uint64_t linesAllocated() const { return next_; }
+
+  private:
+    LineAddr next_ = kLinesPerPage; // keep line 0 unused
+};
+
+} // namespace dice
+
+#endif // DICE_WORKLOADS_ADDRESS_SPACE_HPP

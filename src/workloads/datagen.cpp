@@ -1,0 +1,202 @@
+#include "datagen.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+const char *
+compClassName(CompClass cls)
+{
+    switch (cls) {
+      case CompClass::Zero:
+        return "zero";
+      case CompClass::Ptr:
+        return "ptr";
+      case CompClass::Int:
+        return "int";
+      case CompClass::C36:
+        return "c36";
+      case CompClass::Half:
+        return "half";
+      case CompClass::Rand:
+        return "rand";
+      default:
+        return "?";
+    }
+}
+
+void
+DataGenerator::addRegion(LineAddr start, LineAddr end,
+                         const WorkloadProfile &profile)
+{
+    dice_assert(start < end, "empty data region");
+    regions_.push_back(Region{start, end, &profile});
+    std::sort(regions_.begin(), regions_.end(),
+              [](const Region &a, const Region &b) {
+                  return a.start < b.start;
+              });
+}
+
+const DataGenerator::Region *
+DataGenerator::regionOf(LineAddr line) const
+{
+    for (const Region &r : regions_) {
+        if (line >= r.start && line < r.end)
+            return &r;
+    }
+    return nullptr;
+}
+
+CompClass
+DataGenerator::pageClass(LineAddr line) const
+{
+    const Region *r = regionOf(line);
+    if (!r)
+        return CompClass::Rand; // Unowned space: treat as garbage.
+
+    const WorkloadProfile &p = *r->profile;
+    const double weights[6] = {p.w_zero, p.w_ptr, p.w_int,
+                               p.w_c36, p.w_half, p.w_rand};
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    dice_assert(total > 0.0, "profile %s has zero class weights",
+                p.name.c_str());
+
+    const std::uint64_t page = pageOfLine(line);
+    const double u =
+        static_cast<double>(mix64(page, 0xC1A55ull) >> 11) * 0x1.0p-53 *
+        total;
+    double acc = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return static_cast<CompClass>(i);
+    }
+    return CompClass::Rand;
+}
+
+CompClass
+DataGenerator::lineClass(LineAddr line) const
+{
+    // A small fraction of lines deviate from their page's class so
+    // that predictor accuracy saturates near (not at) 100%. Noise is
+    // applied at pair granularity so both halves of a spatial pair
+    // stay coherent.
+    const std::uint64_t pair = line >> 1;
+    const double u =
+        static_cast<double>(mix64(pair, 0x0D15Eull) >> 11) * 0x1.0p-53;
+    if (u < kNoiseFraction)
+        return CompClass::Rand;
+    return pageClass(line);
+}
+
+namespace
+{
+
+void
+storeU32(Line &out, std::uint32_t idx, std::uint32_t v)
+{
+    std::memcpy(out.data() + 4 * idx, &v, 4);
+}
+
+void
+storeU64(Line &out, std::uint32_t idx, std::uint64_t v)
+{
+    std::memcpy(out.data() + 8 * idx, &v, 8);
+}
+
+} // namespace
+
+Line
+DataGenerator::synthesize(CompClass cls, LineAddr line,
+                          std::uint64_t version)
+{
+    Line out{};
+    const std::uint64_t page = pageOfLine(line);
+    const std::uint64_t seed = mix64(line, version);
+
+    switch (cls) {
+      case CompClass::Zero:
+        return out;
+
+      case CompClass::Ptr: {
+        // Pointer-like 8-byte elements around one per-page base, with
+        // byte-range offsets: BDI B8D1 (16 B); a spatial pair shares
+        // the page base, so the joint encoding is 24 B.
+        const std::uint64_t base =
+            (mix64(page, 0xB45Eull) | (std::uint64_t{1} << 44)) &
+            ~std::uint64_t{0xFF};
+        for (std::uint32_t i = 0; i < 8; ++i)
+            storeU64(out, i, base + (mix64(seed, i) & 0x7F));
+        return out;
+      }
+
+      case CompClass::Int: {
+        // Small signed 4-byte integers: FPC Sign8 / BDI B4D1 (20 B).
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            const auto v = static_cast<std::int32_t>(
+                               mix64(seed, i) % 200) - 100;
+            storeU32(out, i, static_cast<std::uint32_t>(v));
+        }
+        return out;
+      }
+
+      case CompClass::C36: {
+        // 4-byte values = large per-page base + 16-bit deltas: only
+        // BDI B4D2 (exactly 36 B) succeeds; a pair sharing the page
+        // base encodes to exactly 68 B — the paper's threshold case.
+        const std::uint32_t base =
+            0x40000000u |
+            (static_cast<std::uint32_t>(mix64(page, 0xC36ull)) &
+             0x0FFF0000u);
+        // Deltas stay within +/-15000 so that *cross-line* deltas in a
+        // shared-base pair encoding still fit signed 16 bits.
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            const auto delta = static_cast<std::int32_t>(
+                                   mix64(seed, i) % 30000) - 15000;
+            storeU32(out, i,
+                     static_cast<std::uint32_t>(
+                         static_cast<std::int32_t>(base) + delta));
+        }
+        return out;
+      }
+
+      case CompClass::Half: {
+        // Alternate small-magnitude and full-entropy words: FPC packs
+        // the former, stores the latter raw (~54 B); BDI fails.
+        for (std::uint32_t i = 0; i < 16; ++i) {
+            if (i % 2 == 0) {
+                const auto v = static_cast<std::int32_t>(
+                                   mix64(seed, i) % 20000) - 10000;
+                storeU32(out, i, static_cast<std::uint32_t>(v));
+            } else {
+                storeU32(out, i,
+                         static_cast<std::uint32_t>(mix64(seed, i)) |
+                             0x01010000u);
+            }
+        }
+        return out;
+      }
+
+      case CompClass::Rand:
+      default: {
+        for (std::uint32_t i = 0; i < 8; ++i)
+            storeU64(out, i, mix64(seed, 0xFFEEull + i) | 0x0101010101010101ull);
+        return out;
+      }
+    }
+}
+
+Line
+DataGenerator::bytes(LineAddr line, std::uint64_t version) const
+{
+    return synthesize(lineClass(line), line, version);
+}
+
+} // namespace dice

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Workload profiles: the per-benchmark statistical descriptions from
+ * which traces and line data are synthesized.
+ *
+ * Each profile is calibrated to the paper's Table 3 (footprint and L3
+ * MPKI of the 8-copy rate-mode workload) and Figure 4 (fraction of
+ * lines compressing to <=32 B / <=36 B and of adjacent pairs to
+ * <=68 B). Real SPEC/GAP binaries and PinPoints slices are not
+ * available offline; DESIGN.md documents this substitution.
+ */
+
+#ifndef DICE_WORKLOADS_PROFILE_HPP
+#define DICE_WORKLOADS_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dice
+{
+
+/** Statistical description of one benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /**
+     * Total footprint of the 8-copy rate workload at paper scale
+     * (i.e. relative to a 1-GiB L4), in GiB. The harness rescales it
+     * with the simulated cache so footprint/capacity pressure matches.
+     */
+    double footprint_gb = 1.0;
+
+    /** L3 misses per kilo-instruction (Table 3); sets access tempo. */
+    double l3_mpki = 10.0;
+
+    /**
+     * Per-page compressibility class weights (they are normalized by
+     * the generator). Classes map to real encodings:
+     * zero -> ZCA 0 B; ptr -> BDI B8D1 16 B; ints -> BDI B4D1 20 B;
+     * c36 -> BDI B4D2 36 B (pairs to 68 B with a shared base);
+     * half -> FPC ~54 B; rand -> incompressible 64 B.
+     */
+    double w_zero = 0.05;
+    double w_ptr = 0.15;
+    double w_int = 0.15;
+    double w_c36 = 0.10;
+    double w_half = 0.25;
+    double w_rand = 0.30;
+
+    /** Access-pattern mix (normalized by the generator). */
+    double seq_frac = 0.5;
+    double stride_frac = 0.2;
+    double rand_frac = 0.3;
+
+    /** Fraction of accesses that are stores. */
+    double write_frac = 0.3;
+
+    /** Hot-region size as a fraction of the footprint. */
+    double hot_frac = 0.25;
+    /** Probability an access burst targets the hot region. */
+    double hot_bias = 0.8;
+
+    /**
+     * Lines touched per random-access "object" (node/record size in
+     * lines). Pointer-chasing codes with 64-128-B nodes touch line
+     * pairs even under random traversal — the reuse BAI exploits.
+     */
+    std::uint32_t rand_obj_lines = 1;
+
+    /**
+     * Probability that a reference re-touches a recently-used line
+     * (short-term temporal locality visible to the L3). The paper's
+     * baseline L3 hit rate averages ~37%.
+     */
+    double l3_reuse_frac = 0.20;
+
+    /** Distinct synthetic PCs (feeds the MAP-I predictor). */
+    std::uint32_t num_pcs = 32;
+};
+
+/** The 16 memory-intensive SPEC 2006 rate workloads (Table 3). */
+const std::vector<WorkloadProfile> &specRateSuite();
+
+/** The 6 GAP graph workloads (Table 3). */
+const std::vector<WorkloadProfile> &gapSuite();
+
+/** The 13 non-memory-intensive SPEC workloads (Figure 13). */
+const std::vector<WorkloadProfile> &nonIntensiveSuite();
+
+/**
+ * The 4 mixed workloads: each is 8 per-core profiles drawn from the
+ * SPEC suite (paper Section 3.2).
+ */
+const std::vector<std::vector<WorkloadProfile>> &mixSuite();
+
+/** Find a profile by name across all suites; fatal when unknown. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** All 26 evaluation workloads: 16 SPEC rate + 4 MIX + 6 GAP names. */
+std::vector<std::string> all26Names();
+
+} // namespace dice
+
+#endif // DICE_WORKLOADS_PROFILE_HPP

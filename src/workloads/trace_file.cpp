@@ -1,0 +1,70 @@
+#include "trace_file.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dice
+{
+
+TraceFileWriter::TraceFileWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        dice_fatal("cannot open trace file '%s' for writing",
+                   path.c_str());
+}
+
+void
+TraceFileWriter::comment(const std::string &text)
+{
+    out_ << "# " << text << '\n';
+}
+
+void
+TraceFileWriter::append(const MemRef &ref)
+{
+    out_ << (ref.is_write ? 'W' : 'R') << ' ' << std::hex << ref.line
+         << std::dec << ' ' << ref.gap_instr << ' ' << std::hex << ref.pc
+         << std::dec << '\n';
+    ++written_;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : path_(path), in_(path)
+{
+    if (!in_)
+        dice_fatal("cannot open trace file '%s'", path.c_str());
+}
+
+bool
+TraceFileReader::next(MemRef &ref)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        char kind = 0;
+        ss >> kind >> std::hex >> ref.line >> std::dec >>
+            ref.gap_instr >> std::hex >> ref.pc;
+        if (!ss || (kind != 'R' && kind != 'W')) {
+            dice_warn("malformed trace record in %s: '%s'", path_.c_str(),
+                      line.c_str());
+            continue;
+        }
+        ref.is_write = kind == 'W';
+        ++consumed_;
+        return true;
+    }
+    return false;
+}
+
+void
+TraceFileReader::rewind()
+{
+    in_.clear();
+    in_.seekg(0);
+    consumed_ = 0;
+}
+
+} // namespace dice

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-file import/export.
+ *
+ * The paper drives USIMM with PinPoints trace slices; this repo
+ * synthesizes traces, but users with real traces (ChampSim/Pin-style)
+ * can convert them to this format and replay them, or export the
+ * synthetic streams for use by other simulators.
+ *
+ * Format: plain text, one reference per line,
+ *
+ *     R <line-hex> <gap-instructions> <pc-hex>
+ *     W <line-hex> <gap-instructions> <pc-hex>
+ *
+ * with '#'-prefixed comment lines allowed anywhere.
+ */
+
+#ifndef DICE_WORKLOADS_TRACE_FILE_HPP
+#define DICE_WORKLOADS_TRACE_FILE_HPP
+
+#include <fstream>
+#include <string>
+
+#include "workloads/tracegen.hpp"
+
+namespace dice
+{
+
+/** Streams MemRefs out to a trace file. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal when the file cannot open. */
+    explicit TraceFileWriter(const std::string &path);
+
+    /** Write a header comment (e.g. generator provenance). */
+    void comment(const std::string &text);
+
+    /** Append one reference. */
+    void append(const MemRef &ref);
+
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t written_ = 0;
+};
+
+/** Reads MemRefs back from a trace file. */
+class TraceFileReader
+{
+  public:
+    /** Open @p path; fatal when the file cannot open. */
+    explicit TraceFileReader(const std::string &path);
+
+    /**
+     * Read the next reference into @p ref.
+     * @return false at end of file.
+     */
+    bool next(MemRef &ref);
+
+    /** Restart from the beginning of the file. */
+    void rewind();
+
+    std::uint64_t consumed() const { return consumed_; }
+
+  private:
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t consumed_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_WORKLOADS_TRACE_FILE_HPP

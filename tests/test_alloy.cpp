@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Uncompressed Alloy cache baseline tests: direct-mapped behavior,
+ * conflict eviction, writeback generation, and access accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alloy.hpp"
+
+namespace dice
+{
+namespace
+{
+
+DramCacheConfig
+smallL4()
+{
+    DramCacheConfig c;
+    c.capacity = 1_MiB; // 16384 sets
+    return c;
+}
+
+TEST(Alloy, ReadMissThenHit)
+{
+    AlloyCache l4(smallL4());
+    const L4ReadResult miss = l4.read(100, 0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.dram_accesses, 1u);
+    EXPECT_GT(miss.done, 0u);
+
+    l4.install(100, 7, false, miss.done, true);
+    const L4ReadResult hit = l4.read(100, 1000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.payload, 7u);
+    EXPECT_FALSE(hit.has_extra); // uncompressed: one line per access
+    EXPECT_EQ(l4.readHits(), 1u);
+    EXPECT_EQ(l4.readMisses(), 1u);
+}
+
+TEST(Alloy, DirectMappedConflictEvicts)
+{
+    AlloyCache l4(smallL4());
+    const std::uint64_t sets = l4.indexer().numSets();
+    l4.install(5, 1, false, 0, true);
+    EXPECT_TRUE(l4.contains(5));
+    l4.install(5 + sets, 2, false, 0, true);
+    EXPECT_FALSE(l4.contains(5));
+    EXPECT_TRUE(l4.contains(5 + sets));
+}
+
+TEST(Alloy, DirtyVictimIsWrittenBack)
+{
+    AlloyCache l4(smallL4());
+    const std::uint64_t sets = l4.indexer().numSets();
+    l4.install(5, 11, true, 0, true);
+    const L4WriteResult r = l4.install(5 + sets, 2, false, 0, true);
+    ASSERT_EQ(r.writebacks.size(), 1u);
+    EXPECT_EQ(r.writebacks[0].line, 5u);
+    EXPECT_EQ(r.writebacks[0].payload, 11u);
+}
+
+TEST(Alloy, CleanVictimSilentlyDropped)
+{
+    AlloyCache l4(smallL4());
+    const std::uint64_t sets = l4.indexer().numSets();
+    l4.install(5, 1, false, 0, true);
+    const L4WriteResult r = l4.install(5 + sets, 2, false, 0, true);
+    EXPECT_TRUE(r.writebacks.empty());
+}
+
+TEST(Alloy, WritebackToResidentLineMergesDirty)
+{
+    AlloyCache l4(smallL4());
+    l4.install(5, 1, false, 0, true);
+    l4.install(5, 9, true, 0, false); // L3 writeback
+    const std::uint64_t sets = l4.indexer().numSets();
+    const L4WriteResult r = l4.install(5 + sets, 0, false, 0, true);
+    ASSERT_EQ(r.writebacks.size(), 1u);
+    EXPECT_EQ(r.writebacks[0].payload, 9u);
+}
+
+TEST(Alloy, InstallAfterReadMissSkipsProbe)
+{
+    AlloyCache l4(smallL4());
+    const L4WriteResult fill = l4.install(5, 1, false, 0, true);
+    EXPECT_EQ(fill.dram_accesses, 1u); // just the TAD write
+    const L4WriteResult wb = l4.install(6, 1, true, 0, false);
+    EXPECT_EQ(wb.dram_accesses, 2u); // probe read + write
+}
+
+TEST(Alloy, ValidLinesCountsOccupancy)
+{
+    AlloyCache l4(smallL4());
+    EXPECT_EQ(l4.validLines(), 0u);
+    l4.install(1, 0, false, 0, true);
+    l4.install(2, 0, false, 0, true);
+    l4.install(1, 0, false, 0, true); // same set, same line
+    EXPECT_EQ(l4.validLines(), 2u);
+}
+
+TEST(Alloy, HitRateAndStats)
+{
+    AlloyCache l4(smallL4());
+    l4.install(1, 0, false, 0, true);
+    l4.read(1, 0);
+    l4.read(2, 0);
+    EXPECT_DOUBLE_EQ(l4.hitRate(), 0.5);
+    const StatGroup g = l4.stats();
+    EXPECT_DOUBLE_EQ(g.get("read_hits"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("valid_lines"), 1.0);
+}
+
+TEST(Alloy, ReadConsumes80BytesWrite72)
+{
+    AlloyCache l4(smallL4());
+    l4.read(1, 0);
+    EXPECT_EQ(l4.device().bytesMoved(), 80u);
+    l4.install(1, 0, false, 0, true);
+    EXPECT_EQ(l4.device().bytesMoved(), 152u);
+}
+
+TEST(Alloy, IdealConfigFactories)
+{
+    DramCacheConfig base = smallL4();
+    EXPECT_EQ(doubledCapacity(base).capacity, 2_MiB);
+    EXPECT_EQ(doubledBandwidth(base).timing.channels, 8u);
+    const DramCacheConfig half = halvedLatency(base);
+    EXPECT_EQ(half.timing.tCAS, base.timing.tCAS / 2);
+    EXPECT_EQ(half.timing.tRAS, base.timing.tRAS / 2);
+}
+
+TEST(Alloy, DoubledCapacityHoldsConflictingPair)
+{
+    AlloyCache small(smallL4());
+    AlloyCache big(doubledCapacity(smallL4()));
+    const std::uint64_t sets = small.indexer().numSets();
+    // These two conflict in the small cache but not in the big one.
+    big.install(5, 1, false, 0, true);
+    big.install(5 + sets, 2, false, 0, true);
+    EXPECT_TRUE(big.contains(5));
+    EXPECT_TRUE(big.contains(5 + sets));
+}
+
+TEST(Alloy, ResetStatsClearsCountersAndDevice)
+{
+    AlloyCache l4(smallL4());
+    l4.read(1, 0);
+    l4.resetStats();
+    EXPECT_EQ(l4.readMisses(), 0u);
+    EXPECT_EQ(l4.device().bytesMoved(), 0u);
+}
+
+} // namespace
+} // namespace dice

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * BDI codec: canonical mode sizes, mode selection, and round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compress/bdi.hpp"
+
+namespace dice
+{
+namespace
+{
+
+Line
+lineOf64(const std::uint64_t (&elems)[8])
+{
+    Line l{};
+    std::memcpy(l.data(), elems, sizeof elems);
+    return l;
+}
+
+Line
+lineOf32(const std::uint32_t (&elems)[16])
+{
+    Line l{};
+    std::memcpy(l.data(), elems, sizeof elems);
+    return l;
+}
+
+TEST(Bdi, CanonicalPayloadSizes)
+{
+    // The sizes the paper's 36-B threshold is built around.
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::Zeros), 0u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::Rep8), 64u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B8D1) / 8, 16u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B8D2) / 8, 24u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B8D4) / 8, 40u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B4D1) / 8, 20u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B4D2) / 8, 36u);
+    EXPECT_EQ(BdiCodec::payloadBits(BdiCodec::B2D1) / 8, 34u);
+}
+
+TEST(Bdi, ZeroLine)
+{
+    BdiCodec bdi;
+    const Line zero{};
+    const Encoded enc = bdi.compress(zero);
+    ASSERT_EQ(enc.algo, CompAlgo::Bdi);
+    EXPECT_EQ(enc.mode, BdiCodec::Zeros);
+    EXPECT_EQ(enc.sizeBytes(), 0u);
+    EXPECT_EQ(bdi.decompress(enc), zero);
+}
+
+TEST(Bdi, RepeatedValue)
+{
+    BdiCodec bdi;
+    const std::uint64_t elems[8] = {
+        0xDEADBEEFCAFEF00Dull, 0xDEADBEEFCAFEF00Dull,
+        0xDEADBEEFCAFEF00Dull, 0xDEADBEEFCAFEF00Dull,
+        0xDEADBEEFCAFEF00Dull, 0xDEADBEEFCAFEF00Dull,
+        0xDEADBEEFCAFEF00Dull, 0xDEADBEEFCAFEF00Dull};
+    const Line l = lineOf64(elems);
+    const Encoded enc = bdi.compress(l);
+    EXPECT_EQ(enc.mode, BdiCodec::Rep8);
+    EXPECT_EQ(enc.sizeBytes(), 8u);
+    EXPECT_EQ(bdi.decompress(enc), l);
+}
+
+TEST(Bdi, PointerArrayUsesB8D1)
+{
+    BdiCodec bdi;
+    const std::uint64_t base = 0x00007F8812340000ull;
+    std::uint64_t elems[8];
+    for (int i = 0; i < 8; ++i)
+        elems[i] = base + static_cast<std::uint64_t>(i * 13);
+    const Line l = lineOf64(elems);
+    const Encoded enc = bdi.compress(l);
+    EXPECT_EQ(enc.mode, BdiCodec::B8D1);
+    EXPECT_EQ(enc.sizeBytes(), 16u);
+    EXPECT_EQ(bdi.decompress(enc), l);
+}
+
+TEST(Bdi, WideDeltasUseB4D2)
+{
+    BdiCodec bdi;
+    std::uint32_t elems[16];
+    for (int i = 0; i < 16; ++i) {
+        elems[i] = 0x40000000u +
+                   static_cast<std::uint32_t>(i * 1000 - 8000);
+    }
+    const Line l = lineOf32(elems);
+    const Encoded enc = bdi.compress(l);
+    EXPECT_EQ(enc.mode, BdiCodec::B4D2);
+    EXPECT_EQ(enc.sizeBytes(), 36u);
+    EXPECT_EQ(bdi.decompress(enc), l);
+}
+
+TEST(Bdi, ImmediateMaskMixesZeroBase)
+{
+    BdiCodec bdi;
+    // Half the elements are small immediates, half sit near a big base.
+    std::uint32_t elems[16];
+    for (int i = 0; i < 16; ++i) {
+        elems[i] = (i % 2 == 0)
+                       ? static_cast<std::uint32_t>(i)
+                       : 0x12345600u + static_cast<std::uint32_t>(i);
+    }
+    const Line l = lineOf32(elems);
+    const Encoded enc = bdi.compress(l);
+    ASSERT_EQ(enc.algo, CompAlgo::Bdi);
+    EXPECT_EQ(enc.mode, BdiCodec::B4D1);
+    EXPECT_EQ(bdi.decompress(enc), l);
+}
+
+TEST(Bdi, IncompressibleReturnsRaw)
+{
+    BdiCodec bdi;
+    // High-entropy bytes: no base/delta mode can represent them.
+    Line l{};
+    Rng rng(99);
+    for (auto &b : l)
+        b = static_cast<std::uint8_t>(rng.next());
+    const Encoded enc = bdi.compress(l);
+    EXPECT_EQ(enc.algo, CompAlgo::None);
+    EXPECT_EQ(bdi.decompress(enc), l);
+}
+
+TEST(Bdi, CompressInModeRejectsUnrepresentable)
+{
+    BdiCodec bdi;
+    std::uint32_t elems[16];
+    for (int i = 0; i < 16; ++i)
+        elems[i] = 0x40000000u + static_cast<std::uint32_t>(i * 1000);
+    const Line l = lineOf32(elems);
+    EXPECT_FALSE(bdi.compressInMode(l, BdiCodec::B4D1).has_value());
+    EXPECT_TRUE(bdi.compressInMode(l, BdiCodec::B4D2).has_value());
+    EXPECT_FALSE(bdi.compressInMode(l, BdiCodec::Zeros).has_value());
+    EXPECT_FALSE(bdi.compressInMode(l, BdiCodec::Rep8).has_value());
+}
+
+/** Property sweep: every mode's successful encodings round-trip. */
+class BdiModeRoundTrip
+    : public ::testing::TestWithParam<BdiCodec::Mode>
+{
+};
+
+TEST_P(BdiModeRoundTrip, RandomRepresentableLines)
+{
+    const BdiCodec::Mode mode = GetParam();
+    BdiCodec bdi;
+    Rng rng(static_cast<std::uint64_t>(mode) + 123);
+
+    for (int iter = 0; iter < 300; ++iter) {
+        Line l{};
+        if (mode == BdiCodec::Zeros) {
+            // Already zero.
+        } else if (mode == BdiCodec::Rep8) {
+            const std::uint64_t v = rng.next();
+            for (int i = 0; i < 8; ++i)
+                std::memcpy(l.data() + 8 * i, &v, 8);
+        } else {
+            const std::uint32_t k = BdiCodec::baseBytes(mode);
+            const std::uint32_t d = BdiCodec::deltaBytes(mode);
+            const std::uint32_t n = kLineSize / k;
+            // Keep the base away from the signed boundary so that
+            // base + delta never wraps the k-byte two's-complement
+            // range (a wrapped element is legitimately unrepresentable
+            // and would make the mode fail).
+            const std::uint64_t base_room =
+                (k == 8 ? (1ull << 62) : (1ull << (8 * k - 2)));
+            const std::uint64_t base = rng.below(base_room);
+            const std::uint64_t half = 1ull << (8 * d - 1);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::uint64_t delta = rng.below(half);
+                const std::uint64_t v = base + delta;
+                std::memcpy(l.data() + k * i, &v, k);
+            }
+        }
+        const Encoded enc = bdi.compress(l);
+        ASSERT_EQ(enc.algo, CompAlgo::Bdi);
+        EXPECT_EQ(bdi.decompress(enc), l)
+            << "mode " << static_cast<int>(mode) << " iter " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, BdiModeRoundTrip,
+    ::testing::Values(BdiCodec::Zeros, BdiCodec::Rep8, BdiCodec::B8D1,
+                      BdiCodec::B8D2, BdiCodec::B8D4, BdiCodec::B4D1,
+                      BdiCodec::B4D2, BdiCodec::B2D1));
+
+} // namespace
+} // namespace dice

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * C-PACK codec tests: per-pattern encodings, dictionary behavior,
+ * round trips, and fast-size equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compress/cpack.hpp"
+#include "workloads/datagen.hpp"
+
+namespace dice
+{
+namespace
+{
+
+Line
+lineOfWords(const std::uint32_t (&words)[16])
+{
+    Line l{};
+    std::memcpy(l.data(), words, sizeof words);
+    return l;
+}
+
+TEST(Cpack, ZeroLine)
+{
+    CpackCodec cpack;
+    const Line zero{};
+    const Encoded enc = cpack.compress(zero);
+    EXPECT_EQ(enc.bits, 16u * 2u); // one zzzz token per word
+    EXPECT_EQ(cpack.decompress(enc), zero);
+}
+
+TEST(Cpack, RepeatedWordUsesDictionary)
+{
+    CpackCodec cpack;
+    std::uint32_t words[16];
+    for (auto &w : words)
+        w = 0xDEADBEEFu;
+    const Line l = lineOfWords(words);
+    // First word verbatim (34 b), remaining 15 full matches (6 b).
+    const Encoded enc = cpack.compress(l);
+    EXPECT_EQ(enc.bits, 34u + 15u * 6u);
+    EXPECT_EQ(cpack.decompress(enc), l);
+}
+
+TEST(Cpack, SmallBytePattern)
+{
+    CpackCodec cpack;
+    std::uint32_t words[16];
+    for (std::uint32_t i = 0; i < 16; ++i)
+        words[i] = i + 1; // 0x000000xx
+    const Line l = lineOfWords(words);
+    const Encoded enc = cpack.compress(l);
+    EXPECT_EQ(enc.bits, 16u * 12u); // zzzx per word
+    EXPECT_EQ(cpack.decompress(enc), l);
+}
+
+TEST(Cpack, PartialMatchHigh3)
+{
+    CpackCodec cpack;
+    std::uint32_t words[16];
+    for (std::uint32_t i = 0; i < 16; ++i)
+        words[i] = 0xABCDEF00u | i; // same top 3 bytes
+    const Line l = lineOfWords(words);
+    // First verbatim, rest mmmx (16 b each).
+    const Encoded enc = cpack.compress(l);
+    EXPECT_EQ(enc.bits, 34u + 15u * 16u);
+    EXPECT_EQ(cpack.decompress(enc), l);
+}
+
+TEST(Cpack, IncompressibleFallsBackToRaw)
+{
+    CpackCodec cpack;
+    Line l{};
+    Rng rng(5);
+    for (auto &b : l)
+        b = static_cast<std::uint8_t>(rng.next() | 1);
+    const Encoded enc = cpack.compress(l);
+    EXPECT_EQ(cpack.decompress(enc), l);
+    EXPECT_LE(enc.sizeBytes(), kLineSize);
+}
+
+TEST(Cpack, FastBitsMatchFullEncoder)
+{
+    CpackCodec cpack;
+    Rng rng(6);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const auto cls = static_cast<CompClass>(iter % 6);
+        const Line l =
+            DataGenerator::synthesize(cls, rng.below(1 << 18), 0);
+        const Encoded enc = cpack.compress(l);
+        EXPECT_EQ(cpack.compressedBits(l), enc.bits)
+            << compClassName(cls) << " iter " << iter;
+    }
+}
+
+/** Property: everything round-trips across the data classes. */
+class CpackRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CpackRoundTrip, SynthClassesAndRandomData)
+{
+    CpackCodec cpack;
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int iter = 0; iter < 300; ++iter) {
+        Line l{};
+        if (iter % 2 == 0) {
+            l = DataGenerator::synthesize(
+                static_cast<CompClass>(iter % 6), rng.below(1 << 18),
+                iter % 3);
+        } else {
+            for (auto &b : l)
+                b = static_cast<std::uint8_t>(rng.next());
+        }
+        const Encoded enc = cpack.compress(l);
+        EXPECT_EQ(cpack.decompress(enc), l) << "iter " << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpackRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Cpack, DictionaryCapacityIsBounded)
+{
+    // 17+ distinct words cycle the 16-entry FIFO; everything must
+    // still round-trip.
+    CpackCodec cpack;
+    std::uint32_t words[16];
+    for (std::uint32_t i = 0; i < 16; ++i)
+        words[i] = 0x11110000u + i * 0x01010101u;
+    const Line a = lineOfWords(words);
+    const Encoded enc = cpack.compress(a);
+    EXPECT_EQ(cpack.decompress(enc), a);
+}
+
+} // namespace
+} // namespace dice

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * DRAM device timing model: row-buffer state machine, bank occupancy,
+ * data-bus contention, and the bandwidth accounting the study turns on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hpp"
+#include "dram/timing.hpp"
+
+namespace dice
+{
+namespace
+{
+
+DramTiming
+tinyTiming()
+{
+    DramTiming t = DramTiming::stackedL4();
+    return t;
+}
+
+TEST(DramTiming, Presets)
+{
+    const DramTiming l4 = DramTiming::stackedL4();
+    EXPECT_EQ(l4.channels, 4u);
+    EXPECT_EQ(l4.bus_bytes_per_beat, 16u);
+
+    const DramTiming mem = DramTiming::mainMemoryDdr();
+    EXPECT_EQ(mem.channels, 1u);
+    EXPECT_EQ(mem.bus_bytes_per_beat, 8u);
+
+    // Paper: stacked bandwidth = 8x DDR (4x channels, 2x bus width).
+    EXPECT_DOUBLE_EQ(l4.peakBytesPerCycle() / mem.peakBytesPerCycle(),
+                     8.0);
+}
+
+TEST(DramTiming, TransferCycles)
+{
+    const DramTiming l4 = DramTiming::stackedL4();
+    // One 80-B TAD access = 5 beats x 2 cycles.
+    EXPECT_EQ(l4.beatsFor(80), 5u);
+    EXPECT_EQ(l4.transferCycles(80), 10u);
+    // 72-B write = 5 beats (rounded up).
+    EXPECT_EQ(l4.beatsFor(72), 5u);
+
+    const DramTiming mem = DramTiming::mainMemoryDdr();
+    EXPECT_EQ(mem.beatsFor(64), 8u);
+    EXPECT_EQ(mem.transferCycles(64), 16u);
+}
+
+TEST(DramDevice, FirstAccessIsRowClosed)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult r = dev.access({0, 0, 5}, 80, 100, false);
+    // tRCD + tCAS then 5 beats.
+    EXPECT_EQ(r.done, 100 + 44 + 44 + 10u);
+    EXPECT_FALSE(r.row_hit);
+    EXPECT_EQ(dev.activations(), 1u);
+}
+
+TEST(DramDevice, SecondAccessSameRowIsRowHit)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult r1 = dev.access({0, 0, 5}, 80, 0, false);
+    const DramResult r2 = dev.access({0, 0, 5}, 80, r1.done, false);
+    EXPECT_TRUE(r2.row_hit);
+    EXPECT_EQ(r2.done, r1.done + 44 + 10);
+    EXPECT_EQ(dev.rowHits(), 1u);
+}
+
+TEST(DramDevice, RowConflictPaysPrechargeAndRas)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult r1 = dev.access({0, 0, 5}, 80, 0, false);
+    const DramResult r2 = dev.access({0, 0, 9}, 80, r1.done, false);
+    EXPECT_FALSE(r2.row_hit);
+    EXPECT_EQ(dev.rowConflicts(), 1u);
+    // tRAS from the first activation (cycle 0) is 112, already
+    // elapsed by r1.done (98); so precharge starts at r1.done.
+    EXPECT_EQ(r2.done, std::max<Cycle>(r1.done, 112) + 44 + 44 + 44 + 10);
+}
+
+TEST(DramDevice, DifferentBanksOverlap)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult a = dev.access({0, 0, 1}, 80, 0, false);
+    const DramResult b = dev.access({0, 1, 1}, 80, 0, false);
+    // Same access latency, but the shared data bus serializes beats.
+    EXPECT_EQ(a.done, 98u);
+    EXPECT_EQ(b.done, a.done + 10);
+}
+
+TEST(DramDevice, DifferentChannelsFullyOverlap)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult a = dev.access({0, 0, 1}, 80, 0, false);
+    const DramResult b = dev.access({1, 0, 1}, 80, 0, false);
+    EXPECT_EQ(a.done, b.done);
+}
+
+TEST(DramDevice, BusSerializesBackToBackRowHits)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, false); // open the row
+    Cycle prev = 0;
+    for (int i = 0; i < 10; ++i) {
+        const DramResult r = dev.access({0, 0, 1}, 80, 0, false);
+        EXPECT_GT(r.done, prev);
+        prev = r.done;
+    }
+    // Steady state: one 10-cycle transfer per access on the bus.
+    // (Bank ready also advances; the point is monotone serialization.)
+    EXPECT_GE(dev.busBusyCycles(), 11u * 10u);
+}
+
+TEST(DramDevice, CountsReadsWritesBytes)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, false);
+    dev.access({0, 0, 1}, 72, 0, true);
+    EXPECT_EQ(dev.reads(), 1u);
+    EXPECT_EQ(dev.writes(), 1u);
+    EXPECT_EQ(dev.bytesMoved(), 152u);
+}
+
+TEST(DramDevice, UtilizationFractionOfPeak)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, false);
+    // 10 busy cycles on one of 4 channels over 100 cycles.
+    EXPECT_DOUBLE_EQ(dev.busUtilization(100), 10.0 / 400.0);
+    EXPECT_DOUBLE_EQ(dev.busUtilization(0), 0.0);
+}
+
+TEST(DramDevice, ResetClearsStateAndStats)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, false);
+    dev.access({0, 0, 1}, 80, 200, false);
+    EXPECT_EQ(dev.rowHits(), 1u);
+    dev.reset();
+    EXPECT_EQ(dev.rowHits(), 0u);
+    EXPECT_EQ(dev.reads(), 0u);
+    const DramResult r = dev.access({0, 0, 1}, 80, 0, false);
+    EXPECT_FALSE(r.row_hit); // rows closed again
+}
+
+TEST(DramDevice, FirstDataBeforeDone)
+{
+    DramDevice dev("d", tinyTiming());
+    const DramResult r = dev.access({0, 0, 1}, 80, 0, false);
+    EXPECT_LT(r.first_data, r.done);
+}
+
+TEST(DramDevice, StatsGroupExposesCounters)
+{
+    DramDevice dev("dev-x", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, false);
+    const StatGroup g = dev.stats();
+    EXPECT_DOUBLE_EQ(g.get("reads"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("bytes_moved"), 80.0);
+}
+
+TEST(DramDevice, HalfLatencyPresetSpeedsAccess)
+{
+    DramTiming fast = tinyTiming();
+    fast.tCAS /= 2;
+    fast.tRCD /= 2;
+    fast.tRP /= 2;
+    fast.tRAS /= 2;
+    DramDevice slow("s", tinyTiming()), quick("q", fast);
+    const Cycle ds = slow.access({0, 0, 1}, 80, 0, false).done;
+    const Cycle dq = quick.access({0, 0, 1}, 80, 0, false).done;
+    EXPECT_LT(dq, ds);
+}
+
+TEST(DramDevice, PostedWriteDoesNotBlockTheBank)
+{
+    DramDevice dev("d", tinyTiming());
+    // A write posted far in the future must not delay a demand read
+    // issued earlier in simulated time (read-priority controller).
+    dev.access({0, 0, 1}, 72, 100000, AccessKind::PostedWrite);
+    const DramResult r =
+        dev.access({0, 0, 1}, 80, 0, AccessKind::DemandRead);
+    EXPECT_EQ(r.done, 0 + 44 + 44 + 10u);
+}
+
+TEST(DramDevice, PostedReadIsWriteQueueTraffic)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, AccessKind::PostedRead);
+    EXPECT_EQ(dev.postedReads(), 1u);
+    EXPECT_EQ(dev.reads(), 0u);
+    EXPECT_EQ(dev.bytesMoved(), 80u);
+    // It charges bus-busy cycles (bandwidth) like a write.
+    EXPECT_EQ(dev.busBusyCycles(), 10u);
+}
+
+TEST(DramDevice, BacklogDrainsIntoIdleSlotsWithoutDelayingReads)
+{
+    DramDevice dev("d", tinyTiming());
+    // A couple of posted writes fit entirely in the idle time before
+    // the read's data slot (tRCD+tCAS = 88 cycles of idle bus).
+    dev.access({0, 0, 1}, 72, 0, AccessKind::PostedWrite);
+    dev.access({0, 0, 1}, 72, 0, AccessKind::PostedWrite);
+    const DramResult r =
+        dev.access({0, 1, 1}, 80, 0, AccessKind::DemandRead);
+    EXPECT_EQ(r.done, 44 + 44 + 10u); // read undisturbed
+}
+
+TEST(DramDevice, BacklogBeyondWatermarkStallsReads)
+{
+    DramTiming t = tinyTiming();
+    t.write_queue_cycles = 40; // tiny queue so it overflows fast
+    DramDevice dev("d", t);
+    for (int i = 0; i < 30; ++i)
+        dev.access({0, 0, 1}, 72, 0, AccessKind::PostedWrite);
+    // 300 cycles of backlog against a 40-cycle watermark: the forced
+    // drain lands ahead of the read and delays its data.
+    const DramResult r =
+        dev.access({0, 1, 1}, 80, 0, AccessKind::DemandRead);
+    EXPECT_GT(r.done, 44u + 44 + 10);
+}
+
+TEST(DramDevice, RowHitsPipelineAtBurstRate)
+{
+    // Open-row column commands must pipeline (tCCD), not serialize at
+    // full CAS latency: the steady-state gap between back-to-back
+    // row hits equals the transfer time.
+    DramDevice dev("d", tinyTiming());
+    const DramResult first =
+        dev.access({0, 0, 1}, 80, 0, AccessKind::DemandRead);
+    const DramResult second =
+        dev.access({0, 0, 1}, 80, 0, AccessKind::DemandRead);
+    EXPECT_EQ(second.done - first.done, 10u);
+}
+
+TEST(DramDevice, BoolOverloadMapsToPostedWriteAndDemandRead)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 72, 0, true);
+    dev.access({0, 0, 1}, 80, 0, false);
+    EXPECT_EQ(dev.writes(), 1u);
+    EXPECT_EQ(dev.reads(), 1u);
+}
+
+TEST(DramDevice, AvgReadLatencyTracksQueueing)
+{
+    DramDevice dev("d", tinyTiming());
+    dev.access({0, 0, 1}, 80, 0, AccessKind::DemandRead);
+    const double unloaded = dev.avgReadLatency();
+    // Pile up ten more back-to-back reads: the average grows.
+    for (int i = 0; i < 10; ++i)
+        dev.access({0, 0, 1}, 80, 0, AccessKind::DemandRead);
+    EXPECT_GT(dev.avgReadLatency(), unloaded);
+}
+
+} // namespace
+} // namespace dice

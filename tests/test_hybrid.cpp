@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hybrid FPC+BDI codec: best-of selection, pair compression with a
+ * shared BDI base, and the exact 36-B/68-B sizes the DICE threshold
+ * depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compress/hybrid.hpp"
+#include "workloads/datagen.hpp"
+
+namespace dice
+{
+namespace
+{
+
+TEST(Hybrid, ZeroLinePrefersZca)
+{
+    HybridCodec codec;
+    const Line zero{};
+    const Encoded enc = codec.compress(zero);
+    EXPECT_EQ(enc.algo, CompAlgo::Zca);
+    EXPECT_EQ(enc.sizeBytes(), 0u);
+    EXPECT_EQ(codec.decompress(enc), zero);
+}
+
+TEST(Hybrid, PicksSmallerOfFpcAndBdi)
+{
+    HybridCodec codec;
+    // Small 4-byte ints: FPC Sign8 = 22 B, BDI B4D1 = 20 B -> BDI.
+    Line ints{};
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t v = static_cast<std::uint32_t>(i * 3);
+        std::memcpy(ints.data() + 4 * i, &v, 4);
+    }
+    const Encoded enc = codec.compress(ints);
+    EXPECT_EQ(enc.algo, CompAlgo::Bdi);
+    EXPECT_EQ(enc.sizeBytes(), 20u);
+    EXPECT_EQ(codec.decompress(enc), ints);
+}
+
+TEST(Hybrid, FpcWinsOnMixedSparseWords)
+{
+    HybridCodec codec;
+    // Alternating zero / small words: FPC thrives, BDI's best is B4D1
+    // (20 B) but FPC's zero-runs beat it.
+    Line l{};
+    for (int i = 0; i < 16; i += 2) {
+        const std::uint32_t v = 3;
+        std::memcpy(l.data() + 4 * i, &v, 4);
+    }
+    const Encoded enc = codec.compress(l);
+    EXPECT_EQ(codec.decompress(enc), l);
+    EXPECT_LE(enc.sizeBytes(), 20u);
+}
+
+TEST(Hybrid, IncompressibleStaysRaw)
+{
+    HybridCodec codec;
+    const Line l =
+        DataGenerator::synthesize(CompClass::Rand, 1234, 0);
+    const Encoded enc = codec.compress(l);
+    EXPECT_EQ(enc.algo, CompAlgo::None);
+    EXPECT_EQ(enc.sizeBytes(), kLineSize);
+    EXPECT_EQ(codec.decompress(enc), l);
+}
+
+TEST(Hybrid, C36ClassLandsExactlyOnThreshold)
+{
+    HybridCodec codec;
+    const Line l = DataGenerator::synthesize(CompClass::C36, 512, 0);
+    const Encoded enc = codec.compress(l);
+    EXPECT_EQ(enc.algo, CompAlgo::Bdi);
+    EXPECT_EQ(enc.sizeBytes(), 36u);
+}
+
+TEST(Hybrid, C36PairSharesBaseTo68Bytes)
+{
+    HybridCodec codec;
+    // Adjacent lines of the same page: C36 pairs must encode to 68 B
+    // (4-B base + 64 B of 2-B deltas) with the shared base.
+    const LineAddr base_line = 64; // page-aligned pair
+    const Line a =
+        DataGenerator::synthesize(CompClass::C36, base_line, 0);
+    const Line b =
+        DataGenerator::synthesize(CompClass::C36, base_line + 1, 0);
+    const EncodedPair pair = codec.compressPair(a, b);
+    EXPECT_EQ(pair.scheme, PairScheme::SharedBdiBase);
+    EXPECT_EQ(pair.sizeBytes(), 68u);
+    const auto [da, db] = codec.decompressPair(pair);
+    EXPECT_EQ(da, a);
+    EXPECT_EQ(db, b);
+}
+
+TEST(Hybrid, PtrPairSharesBase)
+{
+    HybridCodec codec;
+    const Line a = DataGenerator::synthesize(CompClass::Ptr, 128, 0);
+    const Line b = DataGenerator::synthesize(CompClass::Ptr, 129, 0);
+    const EncodedPair pair = codec.compressPair(a, b);
+    EXPECT_EQ(pair.scheme, PairScheme::SharedBdiBase);
+    EXPECT_EQ(pair.sizeBytes(), 24u); // 8-B base + 16 1-B deltas
+    const auto [da, db] = codec.decompressPair(pair);
+    EXPECT_EQ(da, a);
+    EXPECT_EQ(db, b);
+}
+
+TEST(Hybrid, IncompatiblePairFallsBackToIndependent)
+{
+    HybridCodec codec;
+    const Line a = DataGenerator::synthesize(CompClass::Int, 256, 0);
+    const Line b = DataGenerator::synthesize(CompClass::Rand, 257, 0);
+    const EncodedPair pair = codec.compressPair(a, b);
+    EXPECT_EQ(pair.scheme, PairScheme::Independent);
+    EXPECT_EQ(pair.sizeBytes(), codec.compress(a).sizeBytes() +
+                                    codec.compress(b).sizeBytes());
+    const auto [da, db] = codec.decompressPair(pair);
+    EXPECT_EQ(da, a);
+    EXPECT_EQ(db, b);
+}
+
+TEST(Hybrid, PairNeverBeatsTwoRawLines)
+{
+    HybridCodec codec;
+    Rng rng(5);
+    for (int iter = 0; iter < 100; ++iter) {
+        Line a{}, b{};
+        for (auto &x : a)
+            x = static_cast<std::uint8_t>(rng.next());
+        for (auto &x : b)
+            x = static_cast<std::uint8_t>(rng.next());
+        const EncodedPair pair = codec.compressPair(a, b);
+        EXPECT_LE(pair.sizeBytes(), 2 * kLineSize);
+        const auto [da, db] = codec.decompressPair(pair);
+        EXPECT_EQ(da, a);
+        EXPECT_EQ(db, b);
+    }
+}
+
+TEST(Hybrid, FastSizePathMatchesFullEncoder)
+{
+    HybridCodec codec;
+    Rng rng(77);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const auto cls = static_cast<CompClass>(iter % 6);
+        const Line l = DataGenerator::synthesize(
+            cls, rng.below(1 << 20), iter % 4);
+        EXPECT_EQ(codec.compressedSizeBytes(l),
+                  codec.compress(l).sizeBytes())
+            << compClassName(cls) << " iter " << iter;
+    }
+    // And on unstructured random data.
+    for (int iter = 0; iter < 500; ++iter) {
+        Line l{};
+        for (auto &b : l)
+            b = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(codec.compressedSizeBytes(l),
+                  codec.compress(l).sizeBytes());
+    }
+}
+
+TEST(Hybrid, FastPairSizeMatchesFullEncoder)
+{
+    HybridCodec codec;
+    Rng rng(78);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const auto cls_a = static_cast<CompClass>(iter % 6);
+        const auto cls_b = static_cast<CompClass>((iter / 6) % 6);
+        const LineAddr base = rng.below(1 << 20) & ~LineAddr{1};
+        const Line a = DataGenerator::synthesize(cls_a, base, 0);
+        const Line b = DataGenerator::synthesize(cls_b, base + 1, 0);
+        EXPECT_EQ(codec.pairSizeBytes(a, b),
+                  codec.compressPair(a, b).sizeBytes())
+            << compClassName(cls_a) << "+" << compClassName(cls_b);
+    }
+}
+
+TEST(Fpc, FastBitsMatchFullEncoder)
+{
+    FpcCodec fpc;
+    Rng rng(79);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const auto cls = static_cast<CompClass>(iter % 6);
+        const Line l =
+            DataGenerator::synthesize(cls, rng.below(1 << 20), 0);
+        const Encoded enc = fpc.compress(l);
+        EXPECT_EQ(fpc.compressedBits(l), enc.bits)
+            << compClassName(cls);
+    }
+}
+
+TEST(Bdi, FastBitsMatchFullEncoder)
+{
+    BdiCodec bdi;
+    Rng rng(80);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const auto cls = static_cast<CompClass>(iter % 6);
+        const Line l =
+            DataGenerator::synthesize(cls, rng.below(1 << 20), 0);
+        const Encoded enc = bdi.compress(l);
+        EXPECT_EQ(bdi.compressedBits(l), enc.bits)
+            << compClassName(cls);
+    }
+}
+
+/** Property sweep over the synthetic data classes. */
+class HybridClassSizes
+    : public ::testing::TestWithParam<std::pair<CompClass, std::uint32_t>>
+{
+};
+
+TEST_P(HybridClassSizes, ClassLandsAtOrUnderTargetSize)
+{
+    const auto [cls, max_bytes] = GetParam();
+    HybridCodec codec;
+    for (LineAddr line = 0; line < 400; line += 7) {
+        const Line data = DataGenerator::synthesize(cls, line, line % 3);
+        const Encoded enc = codec.compress(data);
+        EXPECT_LE(enc.sizeBytes(), max_bytes)
+            << compClassName(cls) << " line " << line;
+        EXPECT_EQ(codec.decompress(enc), data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, HybridClassSizes,
+    ::testing::Values(std::make_pair(CompClass::Zero, 0u),
+                      std::make_pair(CompClass::Ptr, 16u),
+                      std::make_pair(CompClass::Int, 20u),
+                      std::make_pair(CompClass::C36, 36u),
+                      std::make_pair(CompClass::Half, 56u),
+                      std::make_pair(CompClass::Rand, 64u)));
+
+} // namespace
+} // namespace dice

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * CIP (cache index predictor) and MAP-I (hit/miss predictor) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cip.hpp"
+#include "core/mapi.hpp"
+
+namespace dice
+{
+namespace
+{
+
+TEST(Cip, DefaultPredictionIsTsi)
+{
+    Cip cip(64);
+    EXPECT_EQ(cip.predictRead(123), IndexScheme::TSI);
+}
+
+TEST(Cip, LearnsLastOutcomePerPage)
+{
+    Cip cip(1024);
+    const LineAddr line_a = 5;            // page 0
+    const LineAddr line_b = 7;            // page 0 too
+    cip.updateRead(line_a, IndexScheme::BAI);
+    // Same page: prediction follows the page's last outcome.
+    EXPECT_EQ(cip.predictRead(line_b), IndexScheme::BAI);
+    cip.updateRead(line_b, IndexScheme::TSI);
+    EXPECT_EQ(cip.predictRead(line_a), IndexScheme::TSI);
+}
+
+TEST(Cip, DistinctPagesUseDistinctEntries)
+{
+    Cip cip(4096);
+    const LineAddr page0_line = 1;
+    const LineAddr page9_line = 9 * kLinesPerPage + 3;
+    cip.updateRead(page0_line, IndexScheme::BAI);
+    // With 4096 entries these two pages almost surely do not collide.
+    EXPECT_EQ(cip.predictRead(page9_line), IndexScheme::TSI);
+}
+
+TEST(Cip, AccuracyTracking)
+{
+    Cip cip(64);
+    cip.updateRead(1, IndexScheme::TSI); // predicted TSI -> correct
+    cip.updateRead(1, IndexScheme::BAI); // predicted TSI -> wrong
+    cip.updateRead(1, IndexScheme::BAI); // predicted BAI -> correct
+    EXPECT_EQ(cip.readPredictions(), 3u);
+    EXPECT_EQ(cip.readMispredictions(), 1u);
+    EXPECT_NEAR(cip.readAccuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cip, TrainDoesNotScore)
+{
+    Cip cip(64);
+    cip.train(1, IndexScheme::BAI);
+    EXPECT_EQ(cip.readPredictions(), 0u);
+    EXPECT_EQ(cip.predictRead(1), IndexScheme::BAI);
+}
+
+TEST(Cip, WritePredictorFollowsThreshold)
+{
+    Cip cip(64);
+    EXPECT_EQ(cip.predictWrite(36, 36), IndexScheme::BAI);
+    EXPECT_EQ(cip.predictWrite(37, 36), IndexScheme::TSI);
+    EXPECT_EQ(cip.predictWrite(0, 36), IndexScheme::BAI);
+    EXPECT_EQ(cip.predictWrite(64, 36), IndexScheme::TSI);
+}
+
+TEST(Cip, WriteScoring)
+{
+    Cip cip(64);
+    cip.scoreWrite(IndexScheme::BAI, IndexScheme::BAI);
+    cip.scoreWrite(IndexScheme::BAI, IndexScheme::TSI);
+    EXPECT_EQ(cip.writePredictions(), 2u);
+    EXPECT_EQ(cip.writeMispredictions(), 1u);
+    EXPECT_NEAR(cip.writeAccuracy(), 0.5, 1e-12);
+}
+
+TEST(Cip, StorageBudgetUnder1KB)
+{
+    // The paper's headline: <1 KB of SRAM for the default predictor.
+    Cip cip(2048);
+    EXPECT_EQ(cip.storageBytes(), 256u);
+    EXPECT_LT(Cip(8192).storageBytes(), 1024u + 1u);
+}
+
+TEST(Cip, UnusedPredictorReportsPerfectAccuracy)
+{
+    Cip cip(64);
+    EXPECT_DOUBLE_EQ(cip.readAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(cip.writeAccuracy(), 1.0);
+}
+
+TEST(Cip, StatsGroup)
+{
+    Cip cip(2048);
+    cip.updateRead(1, IndexScheme::TSI);
+    const StatGroup g = cip.stats();
+    EXPECT_DOUBLE_EQ(g.get("read_predictions"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("storage_bytes"), 256.0);
+}
+
+TEST(MapI, StartsPredictingHit)
+{
+    MapI m(256);
+    EXPECT_TRUE(m.predictHit(0x400123));
+}
+
+TEST(MapI, LearnsMissesPerPc)
+{
+    MapI m(256);
+    const std::uint64_t pc = 0x400123;
+    for (int i = 0; i < 8; ++i)
+        m.update(pc, false);
+    EXPECT_FALSE(m.predictHit(pc));
+    // A different PC is unaffected (unless hashed together; 1/256).
+    EXPECT_TRUE(m.predictHit(0x887766));
+}
+
+TEST(MapI, RecoverAfterHits)
+{
+    MapI m(256);
+    const std::uint64_t pc = 0x1234;
+    for (int i = 0; i < 8; ++i)
+        m.update(pc, false);
+    EXPECT_FALSE(m.predictHit(pc));
+    for (int i = 0; i < 8; ++i)
+        m.update(pc, true);
+    EXPECT_TRUE(m.predictHit(pc));
+}
+
+TEST(MapI, CountersSaturate)
+{
+    MapI m(16);
+    const std::uint64_t pc = 0x9;
+    for (int i = 0; i < 100; ++i)
+        m.update(pc, true);
+    // One miss must not flip a saturated counter.
+    m.update(pc, false);
+    EXPECT_TRUE(m.predictHit(pc));
+}
+
+TEST(MapI, AccuracyTracking)
+{
+    MapI m(256);
+    const std::uint64_t pc = 0x88;
+    m.update(pc, true);  // predicted hit, was hit: correct
+    m.update(pc, false); // predicted hit, was miss: wrong
+    EXPECT_EQ(m.predictions(), 2u);
+    EXPECT_EQ(m.mispredictions(), 1u);
+    EXPECT_NEAR(m.accuracy(), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace dice

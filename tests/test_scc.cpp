@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SCC-on-DRAM-cache baseline tests: associative hit behavior and the
+ * four-access-per-request bandwidth cost (paper Section 7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scc.hpp"
+#include "workloads/datagen.hpp"
+
+namespace dice
+{
+namespace
+{
+
+class FixedClassSource : public LineDataSource
+{
+  public:
+    explicit FixedClassSource(CompClass cls) : cls_(cls) {}
+
+    Line
+    bytes(LineAddr line, std::uint64_t version) const override
+    {
+        return DataGenerator::synthesize(cls_, line, version);
+    }
+
+  private:
+    CompClass cls_;
+};
+
+DramCacheConfig
+smallL4()
+{
+    DramCacheConfig c;
+    c.capacity = 1_MiB;
+    return c;
+}
+
+TEST(Scc, MissThenHit)
+{
+    FixedClassSource src(CompClass::Int);
+    SccCache l4(smallL4(), src);
+    EXPECT_FALSE(l4.read(100, 0).hit);
+    l4.install(100, 7, false, 0, true);
+    const L4ReadResult r = l4.read(100, 0);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.payload, 7u);
+}
+
+TEST(Scc, ReadHitCostsFourAccesses)
+{
+    FixedClassSource src(CompClass::Int);
+    SccCache l4(smallL4(), src);
+    l4.install(100, 7, false, 0, true);
+    const L4ReadResult r = l4.read(100, 0);
+    EXPECT_EQ(r.dram_accesses, 4u); // 3 tag probes + 1 data access
+}
+
+TEST(Scc, ReadMissCostsThreeTagProbes)
+{
+    FixedClassSource src(CompClass::Int);
+    SccCache l4(smallL4(), src);
+    const L4ReadResult r = l4.read(100, 0);
+    EXPECT_EQ(r.dram_accesses, 3u);
+}
+
+TEST(Scc, DataAccessSerializesAfterTags)
+{
+    FixedClassSource src(CompClass::Int);
+    SccCache l4(smallL4(), src);
+    l4.install(100, 7, false, 0, true);
+    l4.device().reset();
+    const L4ReadResult hit = l4.read(100, 0);
+    // Data cannot start until the slowest tag probe completed, so the
+    // hit takes longer than a single-probe organization would.
+    const Cycle one_probe =
+        44 + 44 + l4.device().timing().transferCycles(72);
+    EXPECT_GT(hit.done, one_probe);
+}
+
+TEST(Scc, AssociativityAbsorbsConflicts)
+{
+    // Superblock-indexed 8-way: lines that thrash a direct-mapped
+    // cache co-reside here.
+    FixedClassSource src(CompClass::Rand);
+    SccCache l4(smallL4(), src);
+    const std::uint64_t stride = 4 * (1_MiB / kLineSize / 8); // set period
+    for (int i = 0; i < 4; ++i)
+        l4.install(7 + stride * static_cast<std::uint64_t>(i), i, false,
+                   0, true);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(
+            l4.contains(7 + stride * static_cast<std::uint64_t>(i)));
+    }
+}
+
+TEST(Scc, DirtyEvictionWritesBack)
+{
+    FixedClassSource src(CompClass::Rand);
+    SccCache l4(smallL4(), src);
+    const std::uint64_t stride = 4 * (1_MiB / kLineSize / 8);
+    // Overfill one set's byte budget (8 x 72 B / 68 B-cost lines -> 8).
+    std::size_t wrote_back = 0;
+    for (int i = 0; i < 12; ++i) {
+        const L4WriteResult r = l4.install(
+            7 + stride * static_cast<std::uint64_t>(i), i, true, 0,
+            true);
+        wrote_back += r.writebacks.size();
+    }
+    EXPECT_GT(wrote_back, 0u);
+}
+
+TEST(Scc, CompressionRaisesEffectiveAssociativity)
+{
+    FixedClassSource src(CompClass::Ptr); // 16-B lines
+    SccCache l4(smallL4(), src);
+    const std::uint64_t stride = 4 * (1_MiB / kLineSize / 8);
+    for (int i = 0; i < 16; ++i)
+        l4.install(7 + stride * static_cast<std::uint64_t>(i), i, false,
+                   0, true);
+    std::uint64_t resident = 0;
+    for (int i = 0; i < 16; ++i)
+        resident +=
+            l4.contains(7 + stride * static_cast<std::uint64_t>(i));
+    EXPECT_GE(resident, 16u); // all fit compressed (budget 576 B)
+}
+
+TEST(Scc, OrganizationName)
+{
+    FixedClassSource src(CompClass::Int);
+    SccCache l4(smallL4(), src);
+    EXPECT_STREQ(l4.organization(), "scc");
+}
+
+} // namespace
+} // namespace dice

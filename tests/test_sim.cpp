@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Sim-substrate tests: main memory, energy model, and the ROB/MLP
+ * core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hpp"
+#include "sim/energy.hpp"
+#include "sim/memory.hpp"
+
+namespace dice
+{
+namespace
+{
+
+TEST(MainMemory, ReadTiming)
+{
+    MainMemory mem;
+    const DramResult r = mem.read(100, 50);
+    // Closed row: tRCD + tCAS + 8 beats x 2 cycles.
+    EXPECT_EQ(r.done, 50 + 44 + 44 + 16u);
+}
+
+TEST(MainMemory, VersionsDefaultToZero)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.versionOf(42), 0u);
+    mem.write(42, 7, 0);
+    EXPECT_EQ(mem.versionOf(42), 7u);
+    EXPECT_EQ(mem.versionOf(43), 0u);
+}
+
+TEST(MainMemory, SequentialLinesHitTheRowBuffer)
+{
+    MainMemory mem;
+    const DramResult a = mem.read(0, 0);
+    const DramResult b = mem.read(1, a.done);
+    EXPECT_TRUE(b.row_hit);
+    const DramResult c = mem.read(32, b.done); // next row group
+    EXPECT_FALSE(c.row_hit);
+}
+
+TEST(MainMemory, WritesConsumeBandwidth)
+{
+    MainMemory mem;
+    mem.write(1, 1, 0);
+    EXPECT_EQ(mem.device().writes(), 1u);
+    EXPECT_EQ(mem.device().bytesMoved(), 64u);
+}
+
+TEST(Energy, ScalesWithTraffic)
+{
+    EnergyParams params;
+    MainMemory quiet, busy;
+    busy.read(0, 0);
+    busy.read(100, 0);
+    const EnergyBreakdown e_quiet =
+        computeEnergy(params, nullptr, quiet.device(), 1000);
+    const EnergyBreakdown e_busy =
+        computeEnergy(params, nullptr, busy.device(), 1000);
+    EXPECT_GT(e_busy.mem_nj, e_quiet.mem_nj);
+    EXPECT_DOUBLE_EQ(e_quiet.mem_nj, 0.0);
+}
+
+TEST(Energy, BackgroundScalesWithTime)
+{
+    EnergyParams params;
+    MainMemory mem;
+    const EnergyBreakdown fast =
+        computeEnergy(params, nullptr, mem.device(), 1000);
+    const EnergyBreakdown slow =
+        computeEnergy(params, nullptr, mem.device(), 2000);
+    EXPECT_NEAR(slow.background_nj, 2 * fast.background_nj, 1e-9);
+    // Same traffic, double time: EDP more than doubles.
+    EXPECT_GT(slow.edp, 2 * fast.edp * 0.999);
+}
+
+TEST(Energy, EdpIsEnergyTimesDelay)
+{
+    EnergyParams params;
+    MainMemory mem;
+    mem.read(0, 0);
+    const EnergyBreakdown e =
+        computeEnergy(params, nullptr, mem.device(), 3200);
+    EXPECT_NEAR(e.seconds, 1e-6, 1e-12); // 3200 cycles @ 3.2 GHz
+    EXPECT_NEAR(e.edp, e.total_nj * e.seconds, 1e-12);
+    EXPECT_GT(e.avg_power_w, 0.0);
+}
+
+TEST(TraceCore, UnstalledIssueFollowsWidth)
+{
+    TraceCore core(CoreConfig{4, 192, 8});
+    const Cycle t1 = core.prepareIssue(7); // 8 instrs at width 4
+    EXPECT_EQ(t1, 2u);
+    const Cycle t2 = core.prepareIssue(3); // 4 more
+    EXPECT_EQ(t2, 3u);
+    EXPECT_EQ(core.instructions(), 12u);
+}
+
+TEST(TraceCore, MshrLimitStalls)
+{
+    TraceCore core(CoreConfig{4, 10000, 2});
+    core.prepareIssue(0);
+    core.completeLoad(1000);
+    core.prepareIssue(0);
+    core.completeLoad(2000);
+    // Third load: both MSHRs busy; must wait for the first (1000).
+    const Cycle t = core.prepareIssue(0);
+    EXPECT_GE(t, 1000u);
+    EXPECT_LT(t, 2000u);
+}
+
+TEST(TraceCore, RobLimitStalls)
+{
+    TraceCore core(CoreConfig{4, 16, 64});
+    core.prepareIssue(0);
+    core.completeLoad(5000); // load at instr ~1 blocks retirement
+    // 16+ instructions later, the ROB is full of unretired work.
+    const Cycle t = core.prepareIssue(20);
+    EXPECT_GE(t, 5000u);
+}
+
+TEST(TraceCore, FastLoadsDontStall)
+{
+    TraceCore core(CoreConfig{4, 192, 8});
+    for (int i = 0; i < 100; ++i) {
+        const Cycle t = core.prepareIssue(3);
+        core.completeLoad(t + 4); // L1-like latency
+    }
+    // 400 instructions at width 4 =~ 100 cycles; tiny load latency
+    // never dominates.
+    EXPECT_LE(core.cycle(), 120u);
+}
+
+TEST(TraceCore, SlowLoadsDominate)
+{
+    TraceCore core(CoreConfig{4, 192, 8});
+    Cycle t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t = core.prepareIssue(3);
+        core.completeLoad(t + 300); // memory-like latency
+    }
+    core.finish();
+    // With 8 MSHRs and 300-cycle loads, throughput is limited to
+    // ~8 loads per 300 cycles.
+    EXPECT_GE(core.cycle(), 100u / 8 * 300u);
+}
+
+TEST(TraceCore, MlpOverlapsMisses)
+{
+    // Same load latency, more MSHRs -> fewer total cycles.
+    TraceCore narrow(CoreConfig{4, 192, 1});
+    TraceCore wide(CoreConfig{4, 192, 8});
+    for (int i = 0; i < 50; ++i) {
+        const Cycle tn = narrow.prepareIssue(3);
+        narrow.completeLoad(tn + 200);
+        const Cycle tw = wide.prepareIssue(3);
+        wide.completeLoad(tw + 200);
+    }
+    narrow.finish();
+    wide.finish();
+    EXPECT_LT(wide.cycle() * 3, narrow.cycle());
+}
+
+TEST(TraceCore, FinishDrainsOutstanding)
+{
+    TraceCore core(CoreConfig{4, 192, 8});
+    const Cycle t = core.prepareIssue(0);
+    core.completeLoad(t + 777);
+    core.finish();
+    EXPECT_GE(core.cycle(), t + 777);
+}
+
+TEST(TraceCore, CompletedLoadsAreNotTracked)
+{
+    TraceCore core(CoreConfig{4, 192, 1});
+    const Cycle t = core.prepareIssue(0);
+    core.completeLoad(t); // done == now: never outstanding
+    const Cycle t2 = core.prepareIssue(0);
+    EXPECT_LE(t2, t + 1);
+}
+
+} // namespace
+} // namespace dice

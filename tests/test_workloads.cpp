@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Workload substrate tests: profile suites, data-class synthesis sizes,
+ * page-granularity compressibility correlation, trace-generator
+ * statistics, and the address-space allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "compress/hybrid.hpp"
+#include "workloads/address_space.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/tracegen.hpp"
+
+namespace dice
+{
+namespace
+{
+
+TEST(Profiles, SuiteSizesMatchThePaper)
+{
+    EXPECT_EQ(specRateSuite().size(), 16u);
+    EXPECT_EQ(gapSuite().size(), 6u);
+    EXPECT_EQ(nonIntensiveSuite().size(), 13u);
+    EXPECT_EQ(mixSuite().size(), 4u);
+    for (const auto &mix : mixSuite())
+        EXPECT_EQ(mix.size(), 8u);
+    EXPECT_EQ(all26Names().size(), 26u);
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("mcf").l3_mpki, 53.6);
+    EXPECT_EQ(profileByName("pr_twi").footprint_gb, 23.1);
+    EXPECT_EQ(profileByName("bwaves").name, "bwaves");
+}
+
+TEST(Profiles, IntensiveSuiteHasMpkiAtLeastTwo)
+{
+    for (const auto &p : specRateSuite())
+        EXPECT_GE(p.l3_mpki, 2.0) << p.name;
+    for (const auto &p : gapSuite())
+        EXPECT_GE(p.l3_mpki, 2.0) << p.name;
+}
+
+TEST(Profiles, NonIntensiveSuiteHasMpkiUnderTwo)
+{
+    for (const auto &p : nonIntensiveSuite())
+        EXPECT_LT(p.l3_mpki, 2.0) << p.name;
+}
+
+TEST(Profiles, WeightsArePositive)
+{
+    for (const auto &p : specRateSuite()) {
+        EXPECT_GT(p.w_zero + p.w_ptr + p.w_int + p.w_c36 + p.w_half +
+                      p.w_rand,
+                  0.9)
+            << p.name;
+        EXPECT_GT(p.seq_frac + p.stride_frac + p.rand_frac, 0.9)
+            << p.name;
+    }
+}
+
+TEST(DataGen, ClassSizesMatchTargets)
+{
+    HybridCodec codec;
+    const struct
+    {
+        CompClass cls;
+        std::uint32_t lo, hi;
+    } targets[] = {
+        {CompClass::Zero, 0, 0},   {CompClass::Ptr, 16, 16},
+        {CompClass::Int, 18, 22},  {CompClass::C36, 36, 36},
+        {CompClass::Half, 40, 60}, {CompClass::Rand, 64, 64},
+    };
+    for (const auto &t : targets) {
+        for (LineAddr l = 1000; l < 1040; ++l) {
+            const std::uint32_t size =
+                codec.compress(DataGenerator::synthesize(t.cls, l, 0))
+                    .sizeBytes();
+            EXPECT_GE(size, t.lo) << compClassName(t.cls);
+            EXPECT_LE(size, t.hi) << compClassName(t.cls);
+        }
+    }
+}
+
+TEST(DataGen, DataIsDeterministic)
+{
+    DataGenerator gen;
+    WorkloadProfile prof = profileByName("mcf");
+    gen.addRegion(0, 1 << 20, prof);
+    EXPECT_EQ(gen.bytes(12345, 3), gen.bytes(12345, 3));
+    EXPECT_NE(gen.bytes(12345, 3), gen.bytes(12345, 4));
+}
+
+TEST(DataGen, PageClassIsUniformWithinAPage)
+{
+    DataGenerator gen;
+    WorkloadProfile prof = profileByName("soplex");
+    gen.addRegion(0, 1 << 20, prof);
+    for (std::uint64_t page = 0; page < 50; ++page) {
+        const CompClass cls = gen.pageClass(page * kLinesPerPage);
+        for (std::uint32_t i = 1; i < kLinesPerPage; i += 7) {
+            EXPECT_EQ(gen.pageClass(page * kLinesPerPage + i), cls);
+        }
+    }
+}
+
+TEST(DataGen, NoiseFractionIsSmall)
+{
+    DataGenerator gen;
+    WorkloadProfile prof = profileByName("mcf");
+    gen.addRegion(0, 1 << 22, prof);
+    std::uint64_t noisy = 0, total = 0;
+    for (LineAddr l = 0; l < (1 << 18); l += 3) {
+        if (gen.lineClass(l) != gen.pageClass(l))
+            ++noisy;
+        ++total;
+    }
+    const double frac = static_cast<double>(noisy) / total;
+    EXPECT_LT(frac, 0.06);
+    EXPECT_GT(frac, 0.005);
+}
+
+TEST(DataGen, ClassMixTracksProfileWeights)
+{
+    DataGenerator gen;
+    WorkloadProfile prof = profileByName("libq"); // almost all rand/half
+    gen.addRegion(0, 1 << 22, prof);
+    std::map<CompClass, int> counts;
+    for (std::uint64_t page = 0; page < 4000; ++page)
+        ++counts[gen.pageClass(page * kLinesPerPage)];
+    const double frac_compressible =
+        (counts[CompClass::Zero] + counts[CompClass::Ptr] +
+         counts[CompClass::Int]) /
+        4000.0;
+    EXPECT_LT(frac_compressible, 0.12); // libq: ~5% target
+}
+
+TEST(DataGen, UnownedSpaceIsIncompressible)
+{
+    DataGenerator gen;
+    EXPECT_EQ(gen.pageClass(999999), CompClass::Rand);
+}
+
+TEST(DataGen, PairsShareNoiseDecision)
+{
+    // Both halves of a spatial pair must deviate together, or pair
+    // compressibility statistics would be destroyed.
+    DataGenerator gen;
+    WorkloadProfile prof = profileByName("mcf");
+    gen.addRegion(0, 1 << 20, prof);
+    for (LineAddr base = 0; base < (1 << 16); base += 2) {
+        EXPECT_EQ(gen.lineClass(base) == gen.pageClass(base),
+                  gen.lineClass(base + 1) == gen.pageClass(base + 1));
+    }
+}
+
+TEST(AddressSpace, RegionsAreDisjointAndPageAligned)
+{
+    AddressSpace space;
+    const LineAddr a = space.allocate(100);
+    const LineAddr b = space.allocate(5000);
+    const LineAddr c = space.allocate(1);
+    EXPECT_EQ(a % kLinesPerPage, 0u);
+    EXPECT_EQ(b % kLinesPerPage, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 5000);
+    EXPECT_GT(a, 0u); // line 0 reserved
+}
+
+TEST(TraceGen, StaysInsideItsRegion)
+{
+    const WorkloadProfile prof = profileByName("mcf");
+    TraceGenerator gen(prof, 1000, 100000, 42);
+    for (int i = 0; i < 50000; ++i) {
+        const MemRef ref = gen.next();
+        EXPECT_GE(ref.line, 1000u);
+        EXPECT_LT(ref.line, 101000u);
+    }
+}
+
+TEST(TraceGen, Deterministic)
+{
+    const WorkloadProfile prof = profileByName("omnetpp");
+    TraceGenerator a(prof, 0, 100000, 7), b(prof, 0, 100000, 7);
+    for (int i = 0; i < 1000; ++i) {
+        const MemRef ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.line, rb.line);
+        EXPECT_EQ(ra.is_write, rb.is_write);
+        EXPECT_EQ(ra.gap_instr, rb.gap_instr);
+        EXPECT_EQ(ra.pc, rb.pc);
+    }
+}
+
+TEST(TraceGen, WriteFractionMatchesProfile)
+{
+    const WorkloadProfile prof = profileByName("lbm"); // 45% writes
+    TraceGenerator gen(prof, 0, 100000, 3);
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        writes += gen.next().is_write;
+    EXPECT_NEAR(writes / double(n), prof.write_frac, 0.02);
+}
+
+namespace
+{
+
+/** Fraction of references that touch the previous line's successor. */
+double
+adjacencyOf(const char *workload)
+{
+    const WorkloadProfile prof = profileByName(workload);
+    TraceGenerator gen(prof, 0, 1 << 20, 5);
+    LineAddr prev = ~0ull;
+    int adjacent = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const MemRef ref = gen.next();
+        if (ref.line == prev + 1)
+            ++adjacent;
+        prev = ref.line;
+    }
+    return adjacent / double(n);
+}
+
+} // namespace
+
+TEST(TraceGen, StreamingWorkloadTouchesNeighbors)
+{
+    // lbm is 85% sequential: even with the L3-reuse draws interleaved,
+    // a large fraction of references are spatial successors.
+    EXPECT_GT(adjacencyOf("lbm"), 0.4);
+}
+
+TEST(TraceGen, PointerChasingIsLessAdjacentThanStreaming)
+{
+    // mcf's random pointer chasing (2-line objects) is markedly less
+    // sequential than lbm's streaming.
+    EXPECT_LT(adjacencyOf("mcf"), adjacencyOf("lbm") - 0.1);
+}
+
+TEST(TraceGen, GapTracksMpki)
+{
+    // Higher MPKI -> smaller instruction gaps between references.
+    const WorkloadProfile heavy = profileByName("pr_twi"); // 112.9
+    const WorkloadProfile light = profileByName("xalanc"); // 2.2
+    TraceGenerator hg(heavy, 0, 1 << 18, 1);
+    TraceGenerator lg(light, 0, 1 << 18, 1);
+    double hsum = 0, lsum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        hsum += hg.next().gap_instr;
+        lsum += lg.next().gap_instr;
+    }
+    EXPECT_LT(hsum, lsum / 10);
+}
+
+TEST(TraceGen, UsesBoundedPcSet)
+{
+    const WorkloadProfile prof = profileByName("gcc");
+    TraceGenerator gen(prof, 0, 1 << 18, 9);
+    std::set<std::uint64_t> pcs;
+    for (int i = 0; i < 50000; ++i)
+        pcs.insert(gen.next().pc);
+    EXPECT_LE(pcs.size(), 3u * prof.num_pcs); // 3 burst kinds
+    EXPECT_GE(pcs.size(), 8u);
+}
+
+TEST(TraceGen, HotRegionGetsMostAccesses)
+{
+    WorkloadProfile prof = profileByName("omnetpp");
+    prof.hot_frac = 0.1;
+    prof.hot_bias = 0.9;
+    TraceGenerator gen(prof, 0, 100000, 11);
+    std::uint64_t hot = 0, total = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const MemRef ref = gen.next();
+        hot += ref.line < 10000 + 64;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(hot) / total, 0.6);
+}
+
+} // namespace
+} // namespace dice
