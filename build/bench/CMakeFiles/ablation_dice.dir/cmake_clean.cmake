@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dice.dir/ablation_dice.cpp.o"
+  "CMakeFiles/ablation_dice.dir/ablation_dice.cpp.o.d"
+  "ablation_dice"
+  "ablation_dice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip_accuracy.dir/cip_accuracy.cpp.o"
+  "CMakeFiles/cip_accuracy.dir/cip_accuracy.cpp.o.d"
+  "cip_accuracy"
+  "cip_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

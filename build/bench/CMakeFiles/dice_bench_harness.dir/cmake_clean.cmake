@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dice_bench_harness.dir/harness.cpp.o.d"
+  "libdice_bench_harness.a"
+  "libdice_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_compressibility.dir/fig04_compressibility.cpp.o"
+  "CMakeFiles/fig04_compressibility.dir/fig04_compressibility.cpp.o.d"
+  "fig04_compressibility"
+  "fig04_compressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_compressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

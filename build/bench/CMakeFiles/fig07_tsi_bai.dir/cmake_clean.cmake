@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tsi_bai.dir/fig07_tsi_bai.cpp.o"
+  "CMakeFiles/fig07_tsi_bai.dir/fig07_tsi_bai.cpp.o.d"
+  "fig07_tsi_bai"
+  "fig07_tsi_bai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tsi_bai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

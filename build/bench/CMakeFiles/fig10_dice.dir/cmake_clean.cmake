@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dice.dir/fig10_dice.cpp.o"
+  "CMakeFiles/fig10_dice.dir/fig10_dice.cpp.o.d"
+  "fig10_dice"
+  "fig10_dice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_knl.dir/fig12_knl.cpp.o"
+  "CMakeFiles/fig12_knl.dir/fig12_knl.cpp.o.d"
+  "fig12_knl"
+  "fig12_knl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nonintensive.dir/fig13_nonintensive.cpp.o"
+  "CMakeFiles/fig13_nonintensive.dir/fig13_nonintensive.cpp.o.d"
+  "fig13_nonintensive"
+  "fig13_nonintensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nonintensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

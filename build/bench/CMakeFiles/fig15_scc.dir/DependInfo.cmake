@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_scc.cpp" "bench/CMakeFiles/fig15_scc.dir/fig15_scc.cpp.o" "gcc" "bench/CMakeFiles/fig15_scc.dir/fig15_scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dice_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dice_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dice_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dice_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dice_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scc.dir/fig15_scc.cpp.o"
+  "CMakeFiles/fig15_scc.dir/fig15_scc.cpp.o.d"
+  "fig15_scc"
+  "fig15_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_threshold.dir/tab04_threshold.cpp.o"
+  "CMakeFiles/tab04_threshold.dir/tab04_threshold.cpp.o.d"
+  "tab04_threshold"
+  "tab04_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_capacity.dir/tab05_capacity.cpp.o"
+  "CMakeFiles/tab05_capacity.dir/tab05_capacity.cpp.o.d"
+  "tab05_capacity"
+  "tab05_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

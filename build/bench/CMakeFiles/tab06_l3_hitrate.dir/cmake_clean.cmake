@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_l3_hitrate.dir/tab06_l3_hitrate.cpp.o"
+  "CMakeFiles/tab06_l3_hitrate.dir/tab06_l3_hitrate.cpp.o.d"
+  "tab06_l3_hitrate"
+  "tab06_l3_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_l3_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_prefetch.dir/tab07_prefetch.cpp.o"
+  "CMakeFiles/tab07_prefetch.dir/tab07_prefetch.cpp.o.d"
+  "tab07_prefetch"
+  "tab07_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

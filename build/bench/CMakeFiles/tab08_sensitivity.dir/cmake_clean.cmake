@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab08_sensitivity.dir/tab08_sensitivity.cpp.o"
+  "CMakeFiles/tab08_sensitivity.dir/tab08_sensitivity.cpp.o.d"
+  "tab08_sensitivity"
+  "tab08_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab08_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

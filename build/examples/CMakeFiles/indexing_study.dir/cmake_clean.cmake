@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_study.dir/indexing_study.cpp.o"
+  "CMakeFiles/indexing_study.dir/indexing_study.cpp.o.d"
+  "indexing_study"
+  "indexing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_tuning.dir/predictor_tuning.cpp.o"
+  "CMakeFiles/predictor_tuning.dir/predictor_tuning.cpp.o.d"
+  "predictor_tuning"
+  "predictor_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_cache.dir/sram_cache.cpp.o"
+  "CMakeFiles/dice_cache.dir/sram_cache.cpp.o.d"
+  "libdice_cache.a"
+  "libdice_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_common.dir/log.cpp.o"
+  "CMakeFiles/dice_common.dir/log.cpp.o.d"
+  "CMakeFiles/dice_common.dir/stats.cpp.o"
+  "CMakeFiles/dice_common.dir/stats.cpp.o.d"
+  "libdice_common.a"
+  "libdice_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

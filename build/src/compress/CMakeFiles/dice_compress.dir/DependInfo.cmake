@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cpp" "src/compress/CMakeFiles/dice_compress.dir/bdi.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/bdi.cpp.o.d"
+  "/root/repo/src/compress/compressor.cpp" "src/compress/CMakeFiles/dice_compress.dir/compressor.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/compressor.cpp.o.d"
+  "/root/repo/src/compress/cpack.cpp" "src/compress/CMakeFiles/dice_compress.dir/cpack.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/cpack.cpp.o.d"
+  "/root/repo/src/compress/fpc.cpp" "src/compress/CMakeFiles/dice_compress.dir/fpc.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/fpc.cpp.o.d"
+  "/root/repo/src/compress/hybrid.cpp" "src/compress/CMakeFiles/dice_compress.dir/hybrid.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/hybrid.cpp.o.d"
+  "/root/repo/src/compress/zca.cpp" "src/compress/CMakeFiles/dice_compress.dir/zca.cpp.o" "gcc" "src/compress/CMakeFiles/dice_compress.dir/zca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

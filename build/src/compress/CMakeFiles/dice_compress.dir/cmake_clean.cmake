@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_compress.dir/bdi.cpp.o"
+  "CMakeFiles/dice_compress.dir/bdi.cpp.o.d"
+  "CMakeFiles/dice_compress.dir/compressor.cpp.o"
+  "CMakeFiles/dice_compress.dir/compressor.cpp.o.d"
+  "CMakeFiles/dice_compress.dir/cpack.cpp.o"
+  "CMakeFiles/dice_compress.dir/cpack.cpp.o.d"
+  "CMakeFiles/dice_compress.dir/fpc.cpp.o"
+  "CMakeFiles/dice_compress.dir/fpc.cpp.o.d"
+  "CMakeFiles/dice_compress.dir/hybrid.cpp.o"
+  "CMakeFiles/dice_compress.dir/hybrid.cpp.o.d"
+  "CMakeFiles/dice_compress.dir/zca.cpp.o"
+  "CMakeFiles/dice_compress.dir/zca.cpp.o.d"
+  "libdice_compress.a"
+  "libdice_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

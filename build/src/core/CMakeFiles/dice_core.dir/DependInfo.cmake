@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloy.cpp" "src/core/CMakeFiles/dice_core.dir/alloy.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/alloy.cpp.o.d"
+  "/root/repo/src/core/cip.cpp" "src/core/CMakeFiles/dice_core.dir/cip.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/cip.cpp.o.d"
+  "/root/repo/src/core/compressed.cpp" "src/core/CMakeFiles/dice_core.dir/compressed.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/compressed.cpp.o.d"
+  "/root/repo/src/core/data_source.cpp" "src/core/CMakeFiles/dice_core.dir/data_source.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/data_source.cpp.o.d"
+  "/root/repo/src/core/dram_cache.cpp" "src/core/CMakeFiles/dice_core.dir/dram_cache.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/dram_cache.cpp.o.d"
+  "/root/repo/src/core/indexing.cpp" "src/core/CMakeFiles/dice_core.dir/indexing.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/indexing.cpp.o.d"
+  "/root/repo/src/core/mapi.cpp" "src/core/CMakeFiles/dice_core.dir/mapi.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/mapi.cpp.o.d"
+  "/root/repo/src/core/scc.cpp" "src/core/CMakeFiles/dice_core.dir/scc.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/scc.cpp.o.d"
+  "/root/repo/src/core/tad.cpp" "src/core/CMakeFiles/dice_core.dir/tad.cpp.o" "gcc" "src/core/CMakeFiles/dice_core.dir/tad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dice_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dice_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dice_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

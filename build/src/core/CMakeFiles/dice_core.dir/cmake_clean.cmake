@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_core.dir/alloy.cpp.o"
+  "CMakeFiles/dice_core.dir/alloy.cpp.o.d"
+  "CMakeFiles/dice_core.dir/cip.cpp.o"
+  "CMakeFiles/dice_core.dir/cip.cpp.o.d"
+  "CMakeFiles/dice_core.dir/compressed.cpp.o"
+  "CMakeFiles/dice_core.dir/compressed.cpp.o.d"
+  "CMakeFiles/dice_core.dir/data_source.cpp.o"
+  "CMakeFiles/dice_core.dir/data_source.cpp.o.d"
+  "CMakeFiles/dice_core.dir/dram_cache.cpp.o"
+  "CMakeFiles/dice_core.dir/dram_cache.cpp.o.d"
+  "CMakeFiles/dice_core.dir/indexing.cpp.o"
+  "CMakeFiles/dice_core.dir/indexing.cpp.o.d"
+  "CMakeFiles/dice_core.dir/mapi.cpp.o"
+  "CMakeFiles/dice_core.dir/mapi.cpp.o.d"
+  "CMakeFiles/dice_core.dir/scc.cpp.o"
+  "CMakeFiles/dice_core.dir/scc.cpp.o.d"
+  "CMakeFiles/dice_core.dir/tad.cpp.o"
+  "CMakeFiles/dice_core.dir/tad.cpp.o.d"
+  "libdice_core.a"
+  "libdice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdice_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_dram.dir/dram.cpp.o"
+  "CMakeFiles/dice_dram.dir/dram.cpp.o.d"
+  "libdice_dram.a"
+  "libdice_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_sim.dir/core_model.cpp.o"
+  "CMakeFiles/dice_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/dice_sim.dir/energy.cpp.o"
+  "CMakeFiles/dice_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/dice_sim.dir/memory.cpp.o"
+  "CMakeFiles/dice_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/dice_sim.dir/system.cpp.o"
+  "CMakeFiles/dice_sim.dir/system.cpp.o.d"
+  "libdice_sim.a"
+  "libdice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datagen.cpp" "src/workloads/CMakeFiles/dice_workloads.dir/datagen.cpp.o" "gcc" "src/workloads/CMakeFiles/dice_workloads.dir/datagen.cpp.o.d"
+  "/root/repo/src/workloads/profile.cpp" "src/workloads/CMakeFiles/dice_workloads.dir/profile.cpp.o" "gcc" "src/workloads/CMakeFiles/dice_workloads.dir/profile.cpp.o.d"
+  "/root/repo/src/workloads/trace_file.cpp" "src/workloads/CMakeFiles/dice_workloads.dir/trace_file.cpp.o" "gcc" "src/workloads/CMakeFiles/dice_workloads.dir/trace_file.cpp.o.d"
+  "/root/repo/src/workloads/tracegen.cpp" "src/workloads/CMakeFiles/dice_workloads.dir/tracegen.cpp.o" "gcc" "src/workloads/CMakeFiles/dice_workloads.dir/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dice_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dice_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dice_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dice_workloads.dir/datagen.cpp.o"
+  "CMakeFiles/dice_workloads.dir/datagen.cpp.o.d"
+  "CMakeFiles/dice_workloads.dir/profile.cpp.o"
+  "CMakeFiles/dice_workloads.dir/profile.cpp.o.d"
+  "CMakeFiles/dice_workloads.dir/trace_file.cpp.o"
+  "CMakeFiles/dice_workloads.dir/trace_file.cpp.o.d"
+  "CMakeFiles/dice_workloads.dir/tracegen.cpp.o"
+  "CMakeFiles/dice_workloads.dir/tracegen.cpp.o.d"
+  "libdice_workloads.a"
+  "libdice_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dice_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

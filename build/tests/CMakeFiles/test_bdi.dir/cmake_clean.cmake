@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdi.dir/test_bdi.cpp.o"
+  "CMakeFiles/test_bdi.dir/test_bdi.cpp.o.d"
+  "test_bdi"
+  "test_bdi.pdb"
+  "test_bdi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressed_cache.dir/test_compressed_cache.cpp.o"
+  "CMakeFiles/test_compressed_cache.dir/test_compressed_cache.cpp.o.d"
+  "test_compressed_cache"
+  "test_compressed_cache.pdb"
+  "test_compressed_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressed_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpack.dir/test_cpack.cpp.o"
+  "CMakeFiles/test_cpack.dir/test_cpack.cpp.o.d"
+  "test_cpack"
+  "test_cpack.pdb"
+  "test_cpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indexing.dir/test_indexing.cpp.o"
+  "CMakeFiles/test_indexing.dir/test_indexing.cpp.o.d"
+  "test_indexing"
+  "test_indexing.pdb"
+  "test_indexing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

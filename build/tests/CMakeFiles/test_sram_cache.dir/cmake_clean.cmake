@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram_cache.dir/test_sram_cache.cpp.o"
+  "CMakeFiles/test_sram_cache.dir/test_sram_cache.cpp.o.d"
+  "test_sram_cache"
+  "test_sram_cache.pdb"
+  "test_sram_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

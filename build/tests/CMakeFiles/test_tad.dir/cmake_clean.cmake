@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tad.dir/test_tad.cpp.o"
+  "CMakeFiles/test_tad.dir/test_tad.cpp.o.d"
+  "test_tad"
+  "test_tad.pdb"
+  "test_tad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitops[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fpc[1]_include.cmake")
+include("/root/repo/build/tests/test_bdi[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_sram_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_indexing[1]_include.cmake")
+include("/root/repo/build/tests/test_tad[1]_include.cmake")
+include("/root/repo/build/tests/test_predictors[1]_include.cmake")
+include("/root/repo/build/tests/test_alloy[1]_include.cmake")
+include("/root/repo/build/tests/test_compressed_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_scc[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_cpack[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
