@@ -44,6 +44,11 @@ main()
             all.push_back(name);
     }
 
+    std::vector<OrgCell> sweep = {{base, "base"}};
+    for (const auto &[tag, cfg] : orgs)
+        sweep.push_back({*cfg, tag == "DICE" ? "dice" : "abl-" + tag});
+    runSweep(all, sweep);
+
     std::map<std::string, std::map<std::string, double>> s;
     for (const auto &[tag, cfg] : orgs) {
         const std::string key = tag == "DICE" ? "dice" : "abl-" + tag;

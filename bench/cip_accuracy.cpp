@@ -27,6 +27,16 @@ main()
             all.push_back(name);
     }
 
+    std::vector<OrgCell> orgs;
+    for (const std::uint32_t entries : {512u, 2048u, 8192u}) {
+        SystemConfig cfg = configureDice(defaultBase());
+        cfg.l4_comp.cip_entries = entries;
+        orgs.push_back({cfg, entries == 2048
+                                 ? "dice"
+                                 : "dice-ltt" + std::to_string(entries)});
+    }
+    runSweep(all, orgs);
+
     std::printf("%-12s %14s %14s %12s\n", "LTT entries", "read acc %",
                 "write acc %", "SRAM bytes");
     for (const std::uint32_t entries : {512u, 2048u, 8192u}) {

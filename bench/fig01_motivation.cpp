@@ -27,6 +27,11 @@ main()
     const SystemConfig bw = configure2xBandwidth(defaultBase());
     const SystemConfig both = configure2xBoth(defaultBase());
 
+    runSweep(allNames(), {{base, "base"},
+                          {cap, "2xcap"},
+                          {bw, "2xbw"},
+                          {both, "2x2x"}});
+
     std::map<std::string, double> s_cap, s_bw, s_both;
     std::vector<std::string> all;
     printColumns({"2xCapacity", "2xBandwidth", "2xBoth"});

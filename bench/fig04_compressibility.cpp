@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "compress/hybrid.hpp"
 #include "harness.hpp"
 #include "workloads/address_space.hpp"
@@ -63,17 +64,27 @@ main()
                 "DICE (ISCA'17) Figure 4");
     printColumns({"Single<=32", "Single<=36", "Double<=68"});
 
+    std::vector<const WorkloadProfile *> profiles;
+    for (const auto *suite : {&specRateSuite(), &gapSuite()}) {
+        for (const WorkloadProfile &p : *suite)
+            profiles.push_back(&p);
+    }
+
+    // Each measure() samples an independent generator; fan the
+    // workloads across the thread pool and print in order afterwards.
+    std::vector<Fractions> fracs(profiles.size());
+    parallelFor(profiles.size(), benchJobs(),
+                [&](std::size_t i) { fracs[i] = measure(*profiles[i]); });
+
     double sum32 = 0, sum36 = 0, sum68 = 0;
     int count = 0;
-    for (const auto *suite : {&specRateSuite(), &gapSuite()}) {
-        for (const WorkloadProfile &p : *suite) {
-            const Fractions f = measure(p);
-            printRow(p.name, {f.single32, f.single36, f.pair68});
-            sum32 += f.single32;
-            sum36 += f.single36;
-            sum68 += f.pair68;
-            ++count;
-        }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const Fractions &f = fracs[i];
+        printRow(profiles[i]->name, {f.single32, f.single36, f.pair68});
+        sum32 += f.single32;
+        sum36 += f.single36;
+        sum68 += f.pair68;
+        ++count;
     }
     std::printf("\n");
     printRow("AVG", {sum32 / count, sum36 / count, sum68 / count});

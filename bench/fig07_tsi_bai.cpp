@@ -31,6 +31,12 @@ main()
     const SystemConfig cap = configure2xCapacity(defaultBase());
     const SystemConfig both = configure2xBoth(defaultBase());
 
+    runSweep(allNames(), {{base, "base"},
+                          {tsi, "tsi"},
+                          {bai, "bai"},
+                          {cap, "2xcap"},
+                          {both, "2x2x"}});
+
     std::map<std::string, double> s_tsi, s_bai, s_cap, s_both;
     std::vector<std::string> all;
     printColumns({"TSI", "BAI", "2xCapacity", "2xCap+2xBW"});

@@ -29,6 +29,14 @@ main()
     const SystemConfig dice_cfg = configureDice(defaultBase());
     const SystemConfig both = configure2xBoth(defaultBase());
 
+    // Batch-simulate every cell across the thread pool up front; the
+    // per-cell reads below are then memoized lookups.
+    runSweep(allNames(), {{base, "base"},
+                          {tsi, "tsi"},
+                          {bai, "bai"},
+                          {dice_cfg, "dice"},
+                          {both, "2x2x"}});
+
     std::map<std::string, double> s_tsi, s_bai, s_dice, s_both;
 
     printColumns({"TSI", "BAI", "DICE", "2xCap+2xBW"});

@@ -25,6 +25,8 @@ main()
 
     const SystemConfig dice_cfg = configureDice(defaultBase());
 
+    runSweep(allNames(), {{dice_cfg, "dice"}});
+
     printColumns({"invariant%", "BAI%", "TSI%", "BAI%of-decided"});
     double sum_bai = 0, sum_tsi = 0;
     int count = 0;

@@ -27,6 +27,9 @@ main()
     knl.l4_comp.knl_mode = true;
     const SystemConfig alloy_dice = configureDice(defaultBase());
 
+    runSweep(allNames(),
+             {{base, "base"}, {knl, "knl"}, {alloy_dice, "dice"}});
+
     std::map<std::string, double> s_knl, s_alloy;
     std::vector<std::string> all;
     printColumns({"DICE-on-KNL", "DICE-on-Alloy"});

@@ -24,6 +24,11 @@ main()
     const SystemConfig base = configureBaseline(defaultBase());
     const SystemConfig dice_cfg = configureDice(defaultBase());
 
+    std::vector<std::string> sweep_names;
+    for (const WorkloadProfile &p : nonIntensiveSuite())
+        sweep_names.push_back(p.name);
+    runSweep(sweep_names, {{base, "base"}, {dice_cfg, "dice"}});
+
     std::map<std::string, double> s;
     std::vector<std::string> names;
     printColumns({"DICE"});

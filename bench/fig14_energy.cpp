@@ -46,6 +46,11 @@ main()
             all.push_back(name);
     }
 
+    runSweep(all, {{base, "base"},
+                   {tsi, "tsi"},
+                   {bai, "bai"},
+                   {dice_cfg, "dice"}});
+
     std::printf("%-10s %12s %12s %12s %12s  (normalized to baseline)\n",
                 "org", "power", "perf", "energy", "EDP");
     for (const auto &[tag, cfg] : orgs) {

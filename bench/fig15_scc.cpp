@@ -27,6 +27,9 @@ main()
     scc.l4_kind = L4Kind::Scc;
     const SystemConfig dice_cfg = configureDice(defaultBase());
 
+    runSweep(allNames(),
+             {{base, "base"}, {scc, "scc-v2"}, {dice_cfg, "dice"}});
+
     std::map<std::string, double> s_scc, s_dice;
     std::vector<std::string> all;
     printColumns({"SCC", "DICE"});

@@ -1,14 +1,25 @@
 #include "harness.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace dice::bench
 {
@@ -16,8 +27,9 @@ namespace dice::bench
 namespace
 {
 
-/** Bump when simulator changes invalidate cached results. */
-constexpr int kCacheVersion = 5;
+/** Bump when simulator or cache-file format changes invalidate
+ *  cached results (v6: trailing checksum field). */
+constexpr int kCacheVersion = 6;
 
 /** Scale knob: DICE_BENCH_REFS overrides refs per core. */
 std::uint64_t
@@ -60,12 +72,23 @@ resultFileName(const std::string &workload, const SystemConfig &config,
            ".result";
 }
 
-void
-saveResult(const std::filesystem::path &path, const RunResult &r)
+/** Stable (cross-process, cross-build) FNV-1a hash of the payload. */
+std::uint64_t
+fnv1a(const std::string &s)
 {
-    std::ofstream out(path);
-    if (!out)
-        return;
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+/** Serialize a result into the cache-file payload (no checksum). */
+std::string
+serializeResult(const RunResult &r)
+{
+    std::ostringstream out;
     out.precision(17);
     out << r.cycles << ' ' << r.instructions << ' ' << r.ipc << ' '
         << r.l3_hit_rate << ' ' << r.l4_hit_rate << ' ' << r.l4_reads
@@ -81,15 +104,14 @@ saveResult(const std::filesystem::path &path, const RunResult &r)
         << r.core_cycles.size();
     for (const Cycle c : r.core_cycles)
         out << ' ' << c;
-    out << '\n';
+    return out.str();
 }
 
+/** Inverse of serializeResult(); false on malformed payloads. */
 bool
-loadResult(const std::filesystem::path &path, RunResult &r)
+parseResult(const std::string &payload, RunResult &r)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
+    std::istringstream in(payload);
     std::size_t n_cores = 0;
     in >> r.cycles >> r.instructions >> r.ipc >> r.l3_hit_rate >>
         r.l4_hit_rate >> r.l4_reads >> r.l4_extra_lines >>
@@ -108,7 +130,86 @@ loadResult(const std::filesystem::path &path, RunResult &r)
     return static_cast<bool>(in);
 }
 
+/**
+ * In-process result memo. Guarded by a shared mutex so parallel sweep
+ * workers can look up and publish results concurrently; std::map node
+ * stability makes the returned references permanently valid.
+ */
+struct ResultCache
+{
+    std::shared_mutex mu;
+    std::map<std::string, RunResult> results;
+};
+
+ResultCache &
+resultCache()
+{
+    static ResultCache cache;
+    return cache;
+}
+
 } // namespace
+
+namespace detail
+{
+
+void
+saveResult(const std::filesystem::path &path, const RunResult &r)
+{
+    // Unique temp name per process and call: concurrent writers (other
+    // threads or other bench binaries) never collide, and readers only
+    // ever see fully-written files because rename() is atomic within a
+    // directory.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string payload = serializeResult(r);
+    std::filesystem::path tmp = path;
+    tmp += ".tmp." + std::to_string(static_cast<long>(getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        out << payload << ' ' << fnv1a(payload) << '\n';
+        if (!out)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+bool
+loadResult(const std::filesystem::path &path, RunResult &r)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    while (!content.empty() &&
+           (content.back() == '\n' || content.back() == '\r'))
+        content.pop_back();
+
+    // The file is "<payload> <checksum>"; a truncated, stale (pre-v6),
+    // or partially-written file fails the checksum and is a cache miss.
+    const std::size_t sep = content.rfind(' ');
+    if (sep == std::string::npos || sep + 1 >= content.size())
+        return false;
+    const std::string payload = content.substr(0, sep);
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t stored =
+        std::strtoull(content.c_str() + sep + 1, &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    if (stored != fnv1a(payload))
+        return false;
+    return parseResult(payload, r);
+}
+
+} // namespace detail
 
 SystemConfig
 defaultBase()
@@ -190,33 +291,81 @@ workloadProfiles(const std::string &name, std::uint32_t cores)
     return std::vector<WorkloadProfile>(cores, profileByName(name));
 }
 
+unsigned
+benchJobs()
+{
+    return jobsFromEnv("DICE_BENCH_JOBS");
+}
+
 const RunResult &
 runWorkload(const std::string &workload, const SystemConfig &config,
             const std::string &cache_key)
 {
-    static std::map<std::string, RunResult> cache;
+    ResultCache &rc = resultCache();
     const std::string key = workload + "|" + cache_key;
-    const auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::shared_lock lock(rc.mu);
+        const auto it = rc.results.find(key);
+        if (it != rc.results.end())
+            return it->second;
+    }
 
     const std::filesystem::path file =
         cacheDir() / resultFileName(workload, config, cache_key);
+    RunResult computed;
+    bool loaded = false;
     if (cacheEnabled()) {
-        RunResult loaded;
         std::error_code ec;
         std::filesystem::create_directories(cacheDir(), ec);
-        if (loadResult(file, loaded))
-            return cache.emplace(key, std::move(loaded)).first->second;
+        loaded = detail::loadResult(file, computed);
+    }
+    if (!loaded) {
+        std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
+                     cache_key.c_str());
+        System sys(config, workloadProfiles(workload, config.num_cores));
+        computed = sys.run();
     }
 
-    std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
-                 cache_key.c_str());
-    System sys(config, workloadProfiles(workload, config.num_cores));
-    const RunResult &res = cache.emplace(key, sys.run()).first->second;
-    if (cacheEnabled())
-        saveResult(file, res);
-    return res;
+    std::pair<std::map<std::string, RunResult>::iterator, bool> pub;
+    {
+        std::unique_lock lock(rc.mu);
+        // First publisher wins; a racing duplicate computed the same
+        // bits anyway (the simulation is deterministic).
+        pub = rc.results.emplace(key, std::move(computed));
+    }
+    if (pub.second && !loaded && cacheEnabled())
+        detail::saveResult(file, pub.first->second);
+    return pub.first->second;
+}
+
+void
+runCells(const std::vector<SimCell> &cells)
+{
+    // Dedupe by memo key so a racing pair never simulates twice.
+    std::unordered_set<std::string> seen;
+    std::vector<const SimCell *> work;
+    work.reserve(cells.size());
+    for (const SimCell &c : cells) {
+        if (seen.insert(c.workload + "|" + c.cache_key).second)
+            work.push_back(&c);
+    }
+    parallelFor(work.size(), benchJobs(), [&work](std::size_t i) {
+        runWorkload(work[i]->workload, work[i]->config,
+                    work[i]->cache_key);
+    });
+}
+
+void
+runSweep(const std::vector<std::string> &workloads,
+         const std::vector<OrgCell> &orgs)
+{
+    std::vector<SimCell> cells;
+    cells.reserve(workloads.size() * orgs.size());
+    for (const OrgCell &org : orgs) {
+        for (const std::string &w : workloads)
+            cells.push_back(SimCell{w, org.config, org.cache_key});
+    }
+    runCells(cells);
 }
 
 double
@@ -259,6 +408,15 @@ gapNames()
         return v;
     }();
     return names;
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> all;
+    for (const auto *group : {&rateNames(), &mixNames(), &gapNames()})
+        all.insert(all.end(), group->begin(), group->end());
+    return all;
 }
 
 double

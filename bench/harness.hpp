@@ -4,14 +4,24 @@
  *
  * Each bench binary declares the L4 organizations it compares, runs
  * every workload of the evaluation suite under each of them, and
- * prints rows in the shape of the paper's figure/table. Results are
- * cached per (workload, organization) within a process so binaries
- * that report several aggregates do not re-simulate.
+ * prints rows in the shape of the paper's figure/table.
+ *
+ * Every (workload, organization) simulation is independent and
+ * deterministic, so the harness exposes a batch API: a binary
+ * enumerates all the cells it will need up front (runSweep/runCells)
+ * and the harness dispatches them across a DICE_BENCH_JOBS-sized
+ * thread pool. Results are memoized twice — in a concurrency-safe
+ * in-process map, and persistently in bench_cache/ (written via
+ * temp-file + atomic rename, validated by checksum on load) so that
+ * concurrently running bench binaries share work and never read torn
+ * files. After the batch run, the per-cell accessors (runWorkload,
+ * speedupOver) are cheap cache hits.
  */
 
 #ifndef DICE_BENCH_HARNESS_HPP
 #define DICE_BENCH_HARNESS_HPP
 
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <string>
@@ -45,7 +55,37 @@ SystemConfig configure2xBoth(SystemConfig base);
 std::vector<WorkloadProfile> workloadProfiles(const std::string &name,
                                               std::uint32_t cores);
 
-/** Run one workload under one configuration (memoized per process). */
+/** One simulation cell: a workload replayed under one organization. */
+struct SimCell
+{
+    std::string workload;
+    SystemConfig config;
+    std::string cache_key;
+};
+
+/** An organization paired with its result-cache key. */
+struct OrgCell
+{
+    SystemConfig config;
+    std::string cache_key;
+};
+
+/** Worker threads the engine uses (DICE_BENCH_JOBS, default ncpu). */
+unsigned benchJobs();
+
+/**
+ * Simulate every cell (deduplicated by workload|cache_key) across a
+ * benchJobs()-sized thread pool, populating both memoization layers.
+ * Results are bit-identical to a serial run: each cell's System is
+ * self-contained and seeded from its own config.
+ */
+void runCells(const std::vector<SimCell> &cells);
+
+/** Batch-run the cross product of @p workloads and @p orgs. */
+void runSweep(const std::vector<std::string> &workloads,
+              const std::vector<OrgCell> &orgs);
+
+/** Run one workload under one configuration (memoized, thread-safe). */
 const RunResult &runWorkload(const std::string &workload,
                              const SystemConfig &config,
                              const std::string &cache_key);
@@ -65,6 +105,9 @@ const std::vector<std::string> &rateNames();
 const std::vector<std::string> &mixNames();
 const std::vector<std::string> &gapNames();
 
+/** All 26 evaluation workloads in RATE, MIX, GAP order. */
+std::vector<std::string> allNames();
+
 /** Geomean over a set of named per-workload values. */
 double geomeanOver(const std::vector<std::string> &names,
                    const std::map<std::string, double> &values);
@@ -79,6 +122,25 @@ void printRow(const std::string &name,
 
 /** Print the column legend. */
 void printColumns(const std::vector<std::string> &names);
+
+namespace detail
+{
+
+/**
+ * Persist @p r at @p path crash- and race-safely: the serialized
+ * result plus a trailing checksum is written to a unique temp file in
+ * the same directory and atomically renamed into place. Fails silently
+ * (the persistent cache is an optimization, not a correctness layer).
+ */
+void saveResult(const std::filesystem::path &path, const RunResult &r);
+
+/**
+ * Load a persisted result. Returns false — a cache miss — for missing,
+ * truncated, corrupted, or checksum-mismatching files.
+ */
+bool loadResult(const std::filesystem::path &path, RunResult &r);
+
+} // namespace detail
 
 } // namespace dice::bench
 

@@ -8,12 +8,93 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "compress/cpack.hpp"
 #include "compress/hybrid.hpp"
 #include "workloads/datagen.hpp"
 
+// Global heap-allocation counter. The size-only codec routes must be
+// allocation-free; the benchmarks below report allocations/iteration
+// so a regression shows up as a nonzero counter, not just a slowdown.
+static std::atomic<std::size_t> g_heap_allocs{0};
+
+// GCC cannot see that the replaced operator new below is the matching
+// malloc-based allocator for these frees.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
 namespace
 {
+
+/// Reports heap allocations per benchmark iteration as a counter.
+class AllocScope
+{
+public:
+    explicit AllocScope(benchmark::State &state)
+        : state_(state),
+          start_(g_heap_allocs.load(std::memory_order_relaxed))
+    {
+    }
+
+    ~AllocScope()
+    {
+        const std::size_t n =
+            g_heap_allocs.load(std::memory_order_relaxed) - start_;
+        state_.counters["heap_allocs_per_iter"] = benchmark::Counter(
+            static_cast<double>(n) /
+            static_cast<double>(state_.iterations()));
+    }
+
+private:
+    benchmark::State &state_;
+    std::size_t start_;
+};
 
 using dice::BdiCodec;
 using dice::CpackCodec;
@@ -59,6 +140,7 @@ BM_HybridSizeOnly(benchmark::State &state)
     HybridCodec codec;
     const Line l =
         lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    AllocScope allocs(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(codec.compressedSizeBytes(l));
 }
@@ -70,6 +152,7 @@ BM_HybridFullEncode(benchmark::State &state)
     HybridCodec codec;
     const Line l =
         lineOfClass(static_cast<CompClass>(state.range(0)), 1234);
+    AllocScope allocs(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(codec.compress(l));
 }
@@ -95,6 +178,7 @@ BM_PairSizeOnly(benchmark::State &state)
         lineOfClass(static_cast<CompClass>(state.range(0)), 2000);
     const Line b =
         lineOfClass(static_cast<CompClass>(state.range(0)), 2001);
+    AllocScope allocs(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(codec.pairSizeBytes(a, b));
 }

@@ -30,17 +30,25 @@ main()
             all.push_back(name);
     }
 
-    std::printf("%-12s %12s %12s %12s\n", "group", "<=32B", "<=36B",
-                "<=40B");
-    std::map<std::uint32_t, std::map<std::string, double>> speedups;
+    std::vector<OrgCell> orgs = {{base, "base"}};
     for (const std::uint32_t threshold : {32u, 36u, 40u}) {
         SystemConfig cfg = configureDice(defaultBase());
         cfg.l4_comp.threshold_bytes = threshold;
         const std::string key =
             threshold == 36 ? "dice" : "dice-t" + std::to_string(threshold);
+        orgs.push_back({cfg, key});
+    }
+    runSweep(all, orgs);
+
+    std::printf("%-12s %12s %12s %12s\n", "group", "<=32B", "<=36B",
+                "<=40B");
+    std::map<std::uint32_t, std::map<std::string, double>> speedups;
+    for (std::size_t i = 1; i < orgs.size(); ++i) {
+        const std::uint32_t threshold =
+            orgs[i].config.l4_comp.threshold_bytes;
         for (const auto &name : all) {
-            speedups[threshold][name] =
-                speedupOver(name, base, "base", cfg, key);
+            speedups[threshold][name] = speedupOver(
+                name, base, "base", orgs[i].config, orgs[i].cache_key);
         }
     }
 

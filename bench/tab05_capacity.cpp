@@ -37,6 +37,11 @@ main()
             all.push_back(name);
     }
 
+    runSweep(all, {{base, "base"},
+                   {tsi, "tsi"},
+                   {bai, "bai"},
+                   {dice_cfg, "dice"}});
+
     // Normalize each workload's compressed occupancy by the baseline's
     // occupancy of the same physical cache (workloads whose footprint
     // does not fill the cache would otherwise understate the ratio).

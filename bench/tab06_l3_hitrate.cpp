@@ -29,6 +29,8 @@ main()
             all.push_back(name);
     }
 
+    runSweep(all, {{base, "base"}, {dice_cfg, "dice"}});
+
     std::map<std::string, double> h_base, h_dice;
     printColumns({"BASE%", "DICE%"});
     for (const auto &name : all) {

@@ -45,6 +45,12 @@ main()
                 {"NL-PF", &nl},
                 {"DICE", &dice_cfg},
                 {"DICE+NL", &dice_nl}};
+
+    std::vector<OrgCell> sweep = {{base, "base"}};
+    for (const auto &[tag, cfg] : orgs)
+        sweep.push_back({*cfg, tag});
+    runSweep(all, sweep);
+
     for (const auto &[tag, cfg] : orgs) {
         for (const auto &name : all)
             s[tag][name] = speedupOver(name, base, "base", *cfg, tag);

@@ -77,6 +77,17 @@ main()
             all.push_back(name);
     }
 
+    std::vector<OrgCell> sweep;
+    for (const Variant &v : variants) {
+        const std::string bkey =
+            v.tag == "base-1x" ? "base" : "base-" + v.tag;
+        const std::string dkey =
+            v.tag == "base-1x" ? "dice" : "dice-" + v.tag;
+        sweep.push_back({configureBaseline(v.cfg), bkey});
+        sweep.push_back({configureDice(v.cfg), dkey});
+    }
+    runSweep(all, sweep);
+
     std::map<std::string, std::map<std::string, double>> s;
     for (const Variant &v : variants) {
         const SystemConfig base = configureBaseline(v.cfg);

@@ -128,7 +128,7 @@ BdiCodec::compressInMode(const Line &line, Mode mode) const
     std::uint64_t base = 0;
     bool base_set = false;
     std::uint64_t mask = 0; // bit i set => element i uses the zero base
-    std::vector<std::int64_t> deltas(n_elem);
+    std::array<std::int64_t, kLineSize / 2> deltas{}; // n_elem <= 32
 
     for (std::uint32_t i = 0; i < n_elem; ++i) {
         const std::uint64_t raw = loadElem(line, k, i);
@@ -219,6 +219,12 @@ BdiCodec::compressedBits(const Line &line) const
             return payloadBits(mode);
     }
     return 8 * kLineSize;
+}
+
+std::uint32_t
+BdiCodec::compressedSizeBytes(const Line &line) const
+{
+    return (compressedBits(line) + 7) / 8;
 }
 
 Encoded

@@ -65,6 +65,9 @@ class BdiCodec : public Codec
      * 8*kLineSize when no mode succeeds (hot path for the cache).
      */
     std::uint32_t compressedBits(const Line &line) const;
+
+    /** compressedBits() rounded up to whole bytes. */
+    std::uint32_t compressedSizeBytes(const Line &line) const override;
 };
 
 } // namespace dice

@@ -4,16 +4,18 @@
  *
  * The codecs produce real bitstreams (not just size estimates) so that
  * round-trip correctness can be tested; the cache model then uses the
- * bit-exact encoded sizes.
+ * bit-exact encoded sizes. Both the writer and the reader operate on
+ * fixed-capacity inline storage (PayloadBuf) so that encoding a line
+ * never allocates.
  */
 
 #ifndef DICE_COMPRESS_BITSTREAM_HPP
 #define DICE_COMPRESS_BITSTREAM_HPP
 
 #include <cstdint>
-#include <vector>
 
 #include "common/log.hpp"
+#include "compress/compressor.hpp"
 
 namespace dice
 {
@@ -45,10 +47,10 @@ class BitWriter
     std::uint32_t byteSize() const { return (bit_pos_ + 7) / 8; }
 
     /** The backing bytes (final byte may be partially used). */
-    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    const PayloadBuf &bytes() const { return bytes_; }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    PayloadBuf bytes_;
     std::uint32_t bit_pos_ = 0;
 };
 
@@ -56,8 +58,13 @@ class BitWriter
 class BitReader
 {
   public:
-    explicit BitReader(const std::vector<std::uint8_t> &bytes)
-        : bytes_(bytes)
+    explicit BitReader(const PayloadBuf &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {
+    }
+
+    BitReader(const std::uint8_t *data, std::uint32_t size)
+        : data_(data), size_(size)
     {
     }
 
@@ -70,8 +77,8 @@ class BitReader
         for (std::uint32_t i = 0; i < n_bits; ++i) {
             const std::uint32_t byte = bit_pos_ >> 3;
             const std::uint32_t off = bit_pos_ & 7;
-            dice_assert(byte < bytes_.size(), "BitReader past end");
-            if ((bytes_[byte] >> off) & 1)
+            dice_assert(byte < size_, "BitReader past end");
+            if ((data_[byte] >> off) & 1)
                 v |= std::uint64_t{1} << i;
             ++bit_pos_;
         }
@@ -82,7 +89,8 @@ class BitReader
     std::uint32_t bitPos() const { return bit_pos_; }
 
   private:
-    const std::vector<std::uint8_t> &bytes_;
+    const std::uint8_t *data_;
+    std::uint32_t size_;
     std::uint32_t bit_pos_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "compressor.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace dice
@@ -19,7 +21,7 @@ Line
 decodeRaw(const Encoded &enc)
 {
     dice_assert(enc.algo == CompAlgo::None, "decodeRaw on compressed line");
-    dice_assert(enc.payload.size() == kLineSize, "raw payload size %zu",
+    dice_assert(enc.payload.size() == kLineSize, "raw payload size %u",
                 enc.payload.size());
     Line line;
     std::copy(enc.payload.begin(), enc.payload.end(), line.begin());

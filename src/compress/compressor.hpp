@@ -7,6 +7,12 @@
  * the byte size of that stream — plus per-line metadata kept in the tag,
  * which the TAD layout accounts for separately — is what the cache model
  * consumes.
+ *
+ * The cache model's hot path never needs the bitstream itself, only its
+ * size, so every codec also implements compressedSizeBytes(): a
+ * size-only route that touches no heap memory. Encoded payloads are
+ * stored in a fixed-capacity inline buffer (PayloadBuf) for the same
+ * reason: compressing a line performs zero heap allocations.
  */
 
 #ifndef DICE_COMPRESS_COMPRESSOR_HPP
@@ -14,8 +20,8 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace dice
@@ -26,6 +32,58 @@ using Line = std::array<std::uint8_t, kLineSize>;
 
 /** Raw bytes of a pair of adjacent lines (128 B), for pair compression. */
 using LinePair = std::array<std::uint8_t, 2 * kLineSize>;
+
+/**
+ * Upper bound on any encoded payload: a raw 64-B line, or the joint
+ * stream of a shared-base pair (<= 72 B for BDI's largest delta mode).
+ */
+inline constexpr std::uint32_t kMaxPayloadBytes = 2 * kLineSize;
+
+/**
+ * Fixed-capacity inline byte buffer for encoded payloads. A drop-in
+ * for the small-vector uses the codecs need (append, assign, iterate)
+ * without ever touching the heap.
+ */
+class PayloadBuf
+{
+  public:
+    PayloadBuf() = default;
+
+    std::uint8_t *data() { return bytes_.data(); }
+    const std::uint8_t *data() const { return bytes_.data(); }
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    void clear() { size_ = 0; }
+
+    void
+    push_back(std::uint8_t b)
+    {
+        dice_assert(size_ < kMaxPayloadBytes, "PayloadBuf overflow");
+        bytes_[size_++] = b;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        clear();
+        for (; first != last; ++first)
+            push_back(static_cast<std::uint8_t>(*first));
+    }
+
+    std::uint8_t &operator[](std::uint32_t i) { return bytes_[i]; }
+    const std::uint8_t &operator[](std::uint32_t i) const
+    {
+        return bytes_[i];
+    }
+
+    const std::uint8_t *begin() const { return data(); }
+    const std::uint8_t *end() const { return data() + size_; }
+
+  private:
+    std::array<std::uint8_t, kMaxPayloadBytes> bytes_;
+    std::uint32_t size_ = 0;
+};
 
 /** Compression algorithm identifiers (stored in tag metadata). */
 enum class CompAlgo : std::uint8_t
@@ -50,7 +108,7 @@ struct Encoded
      */
     std::uint64_t meta = 0;
     /** The encoded payload. Empty for ZCA; raw line for None. */
-    std::vector<std::uint8_t> payload;
+    PayloadBuf payload;
     /** Exact encoded size in bits (payload only, excluding tag/meta). */
     std::uint32_t bits = 0;
 
@@ -75,6 +133,14 @@ class Codec
 
     /** Invert compress(); @p enc must come from the same codec. */
     virtual Line decompress(const Encoded &enc) const = 0;
+
+    /**
+     * Byte size of compress(line)'s payload without materializing a
+     * bitstream and without heap allocation — the route the cache
+     * model's install path takes. Always equals
+     * compress(line).sizeBytes().
+     */
+    virtual std::uint32_t compressedSizeBytes(const Line &line) const = 0;
 };
 
 /** Convenience: an Encoded that stores @p line verbatim. */

@@ -174,6 +174,12 @@ CpackCodec::compressedBits(const Line &line) const
     return (bits + 7) / 8 >= kLineSize ? 8 * kLineSize : bits;
 }
 
+std::uint32_t
+CpackCodec::compressedSizeBytes(const Line &line) const
+{
+    return (compressedBits(line) + 7) / 8;
+}
+
 Line
 CpackCodec::decompress(const Encoded &enc) const
 {

@@ -38,6 +38,9 @@ class CpackCodec : public Codec
     /** Size-only fast path (no bitstream materialized). */
     std::uint32_t compressedBits(const Line &line) const;
 
+    /** compressedBits() rounded up to whole bytes. */
+    std::uint32_t compressedSizeBytes(const Line &line) const override;
+
     /** Dictionary entries (4 bits of index per full/partial match). */
     static constexpr std::uint32_t kDictEntries = 16;
 

@@ -77,6 +77,12 @@ FpcCodec::compressedBits(const Line &line) const
     return (bits + 7) / 8 >= kLineSize ? 8 * kLineSize : bits;
 }
 
+std::uint32_t
+FpcCodec::compressedSizeBytes(const Line &line) const
+{
+    return (compressedBits(line) + 7) / 8;
+}
+
 Encoded
 FpcCodec::compress(const Line &line) const
 {

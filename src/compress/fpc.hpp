@@ -31,6 +31,9 @@ class FpcCodec : public Codec
      */
     std::uint32_t compressedBits(const Line &line) const;
 
+    /** compressedBits() rounded up to whole bytes. */
+    std::uint32_t compressedSizeBytes(const Line &line) const override;
+
     /** Word-level patterns, in prefix order. */
     enum Pattern : std::uint8_t
     {

@@ -159,7 +159,7 @@ HybridCodec::sharedBaseEncode(const Line &a, const Line &b,
     std::uint64_t base = 0;
     bool base_set = false;
     std::uint64_t mask = 0; // 2*n_elem mask bits across both lines
-    std::vector<std::int64_t> deltas(2 * n_elem);
+    std::array<std::int64_t, kLineSize> deltas{}; // 2*n_elem <= 64
 
     for (std::uint32_t i = 0; i < 2 * n_elem; ++i) {
         const Line &src = i < n_elem ? a : b;

@@ -37,7 +37,7 @@ struct EncodedPair
     /** Per-line encodings (Independent) or the joint stream (shared). */
     Encoded first;
     Encoded second;
-    std::vector<std::uint8_t> joint;
+    PayloadBuf joint;
 
     std::uint32_t sizeBytes() const { return (bits + 7) / 8; }
 };
@@ -62,7 +62,7 @@ class HybridCodec : public Codec
      * allocation-free size-only codec paths (hot path of the cache
      * model; equals compress(line).sizeBytes()).
      */
-    std::uint32_t compressedSizeBytes(const Line &line) const;
+    std::uint32_t compressedSizeBytes(const Line &line) const override;
 
     /**
      * Joint payload size of the pair (a, b) in bytes, again without

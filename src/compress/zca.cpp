@@ -22,6 +22,15 @@ ZcaCodec::compress(const Line &line) const
     return enc;
 }
 
+std::uint32_t
+ZcaCodec::compressedSizeBytes(const Line &line) const
+{
+    const bool all_zero =
+        std::all_of(line.begin(), line.end(),
+                    [](std::uint8_t b) { return b == 0; });
+    return all_zero ? 0 : kLineSize;
+}
+
 Line
 ZcaCodec::decompress(const Encoded &enc) const
 {

@@ -20,6 +20,9 @@ class ZcaCodec : public Codec
 
     Encoded compress(const Line &line) const override;
     Line decompress(const Encoded &enc) const override;
+
+    /** 0 for an all-zero line, kLineSize otherwise. */
+    std::uint32_t compressedSizeBytes(const Line &line) const override;
 };
 
 } // namespace dice

@@ -112,6 +112,10 @@ CompressedDramCache::installScheme(LineAddr line, std::uint32_t size,
 std::uint32_t
 CompressedDramCache::sizeOf(LineAddr line, std::uint64_t payload) const
 {
+    // The memo is per cache instance, and a cache instance belongs to
+    // exactly one System: concurrent Systems (the parallel bench
+    // engine) each mutate their own memo, so no locking is needed.
+    // The size-only codec route below performs no heap allocation.
     const std::uint64_t key = mix64(line, payload);
     const auto it = size_cache_.find(key);
     if (it != size_cache_.end())

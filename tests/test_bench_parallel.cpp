@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the parallel bench engine: a parallel sweep must produce
+ * bit-identical results to a serial one, and the persistent result
+ * cache must survive concurrent writers and reject corrupt files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace dice::bench
+{
+namespace
+{
+
+/** Compare every field of two results with exact (bitwise) equality. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(a.core_cycles.size(), b.core_cycles.size());
+    for (std::size_t i = 0; i < a.core_cycles.size(); ++i)
+        EXPECT_EQ(a.core_cycles[i], b.core_cycles[i]);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l3_hit_rate, b.l3_hit_rate);
+    EXPECT_EQ(a.l4_hit_rate, b.l4_hit_rate);
+    EXPECT_EQ(a.l4_reads, b.l4_reads);
+    EXPECT_EQ(a.l4_extra_lines, b.l4_extra_lines);
+    EXPECT_EQ(a.l4_second_probes, b.l4_second_probes);
+    EXPECT_EQ(a.cip_read_accuracy, b.cip_read_accuracy);
+    EXPECT_EQ(a.cip_write_accuracy, b.cip_write_accuracy);
+    EXPECT_EQ(a.mapi_accuracy, b.mapi_accuracy);
+    EXPECT_EQ(a.frac_invariant, b.frac_invariant);
+    EXPECT_EQ(a.frac_bai, b.frac_bai);
+    EXPECT_EQ(a.frac_tsi, b.frac_tsi);
+    EXPECT_EQ(a.avg_valid_lines, b.avg_valid_lines);
+    EXPECT_EQ(a.l4_bytes, b.l4_bytes);
+    EXPECT_EQ(a.mem_bytes, b.mem_bytes);
+    EXPECT_EQ(a.avg_miss_latency, b.avg_miss_latency);
+    EXPECT_EQ(a.energy.l4_nj, b.energy.l4_nj);
+    EXPECT_EQ(a.energy.mem_nj, b.energy.mem_nj);
+    EXPECT_EQ(a.energy.background_nj, b.energy.background_nj);
+    EXPECT_EQ(a.energy.total_nj, b.energy.total_nj);
+    EXPECT_EQ(a.energy.avg_power_w, b.energy.avg_power_w);
+    EXPECT_EQ(a.energy.edp, b.energy.edp);
+    EXPECT_EQ(a.energy.seconds, b.energy.seconds);
+}
+
+/** A recognizable result whose fields are functions of @p id. */
+RunResult
+resultFor(std::uint64_t id)
+{
+    RunResult r;
+    r.instructions = id;
+    r.cycles = 7 * id + 3;
+    r.ipc = 0.5 * static_cast<double>(id);
+    r.core_cycles = {id, id + 1};
+    return r;
+}
+
+TEST(BenchParallel, ParallelSweepMatchesSerial)
+{
+    // Tiny runs, no persistent cache: every cell is freshly simulated,
+    // once serially and once across the thread pool, under distinct
+    // memo keys so the two sweeps cannot see each other's results.
+    setenv("DICE_BENCH_REFS", "1500", 1);
+    setenv("DICE_BENCH_NO_CACHE", "1", 1);
+
+    const std::vector<std::string> workloads = {rateNames()[0],
+                                                rateNames()[1]};
+    const SystemConfig base = configureBaseline(defaultBase());
+    const SystemConfig dice_cfg = configureDice(defaultBase());
+
+    setenv("DICE_BENCH_JOBS", "1", 1);
+    runSweep(workloads, {{base, "ser:base"}, {dice_cfg, "ser:dice"}});
+
+    setenv("DICE_BENCH_JOBS", "4", 1);
+    runSweep(workloads, {{base, "par:base"}, {dice_cfg, "par:dice"}});
+
+    for (const std::string &w : workloads) {
+        expectIdentical(runWorkload(w, base, "ser:base"),
+                        runWorkload(w, base, "par:base"));
+        expectIdentical(runWorkload(w, dice_cfg, "ser:dice"),
+                        runWorkload(w, dice_cfg, "par:dice"));
+    }
+}
+
+TEST(BenchCache, SaveLoadRoundTripsAllFields)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(::testing::TempDir()) /
+        "dice_roundtrip.result";
+
+    RunResult r = resultFor(42);
+    r.l3_hit_rate = 0.123456789012345;
+    r.avg_miss_latency = 987.654321;
+    r.energy.total_nj = 1.0e9 / 3.0;
+    detail::saveResult(path, r);
+
+    RunResult loaded;
+    ASSERT_TRUE(detail::loadResult(path, loaded));
+    expectIdentical(r, loaded);
+    std::filesystem::remove(path);
+}
+
+TEST(BenchCache, ConcurrentWritersNeverProduceTornReads)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(::testing::TempDir()) /
+        "dice_concurrent.result";
+    std::filesystem::remove(path);
+
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 50;
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&path, w] {
+            for (int i = 0; i < kRounds; ++i)
+                detail::saveResult(
+                    path, resultFor(1 + static_cast<std::uint64_t>(
+                                            w * kRounds + i)));
+        });
+    }
+    // Readers race the writers; every successful load must be one
+    // complete written result, never a torn or interleaved file.
+    std::atomic<int> bad{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 2; ++t) {
+        readers.emplace_back([&path, &bad] {
+            for (int i = 0; i < 200; ++i) {
+                RunResult r;
+                if (!detail::loadResult(path, r))
+                    continue;
+                const RunResult expect = resultFor(r.instructions);
+                if (r.instructions == 0 ||
+                    r.cycles != expect.cycles ||
+                    r.ipc != expect.ipc ||
+                    r.core_cycles != expect.core_cycles)
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (std::thread &t : readers)
+        t.join();
+    EXPECT_EQ(bad.load(), 0);
+
+    // After the dust settles the file holds one intact result.
+    RunResult last;
+    ASSERT_TRUE(detail::loadResult(path, last));
+    expectIdentical(last, resultFor(last.instructions));
+    std::filesystem::remove(path);
+
+    // No temp files leak.
+    for (const auto &entry : std::filesystem::directory_iterator(
+             std::filesystem::path(::testing::TempDir())))
+        EXPECT_EQ(
+            entry.path().filename().string().find("dice_concurrent"),
+            std::string::npos)
+            << entry.path();
+}
+
+TEST(BenchCache, CorruptOrTruncatedFileIsACacheMiss)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(::testing::TempDir()) /
+        "dice_corrupt.result";
+    detail::saveResult(path, resultFor(7));
+
+    std::string content;
+    {
+        std::ifstream in(path);
+        std::getline(in, content);
+    }
+    ASSERT_FALSE(content.empty());
+
+    RunResult r;
+
+    // Truncated mid-payload: checksum cannot match.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << content.substr(0, content.size() / 2);
+    }
+    EXPECT_FALSE(detail::loadResult(path, r));
+
+    // Flipped payload byte under the original checksum.
+    {
+        std::string bad = content;
+        bad[0] = bad[0] == '1' ? '2' : '1';
+        std::ofstream out(path, std::ios::trunc);
+        out << bad;
+    }
+    EXPECT_FALSE(detail::loadResult(path, r));
+
+    // Pre-checksum format: payload with no trailing checksum field.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << content.substr(0, content.rfind(' '));
+    }
+    EXPECT_FALSE(detail::loadResult(path, r));
+
+    // Empty and missing files.
+    {
+        std::ofstream out(path, std::ios::trunc);
+    }
+    EXPECT_FALSE(detail::loadResult(path, r));
+    std::filesystem::remove(path);
+    EXPECT_FALSE(detail::loadResult(path, r));
+
+    // The intact file loads again (sanity that the fixture is valid).
+    detail::saveResult(path, resultFor(7));
+    EXPECT_TRUE(detail::loadResult(path, r));
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace dice::bench

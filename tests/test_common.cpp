@@ -181,20 +181,27 @@ TEST(Bitstream, WriteReadRoundTrip)
 
 TEST(Bitstream, UnalignedSequences)
 {
-    Rng rng(3);
-    BitWriter bw;
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> writes;
-    for (int i = 0; i < 500; ++i) {
-        const std::uint32_t n =
-            static_cast<std::uint32_t>(rng.between(1, 64));
-        const std::uint64_t v =
-            rng.next() & (n == 64 ? ~0ull : ((1ull << n) - 1));
-        writes.emplace_back(v, n);
-        bw.write(v, n);
+    // Several randomized streams, each filled to just under the
+    // writer's fixed capacity (2x a line, the codec payload bound).
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed);
+        BitWriter bw;
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> writes;
+        std::uint32_t bits = 0;
+        while (bits + 64 <= 8 * kMaxPayloadBytes) {
+            const std::uint32_t n =
+                static_cast<std::uint32_t>(rng.between(1, 64));
+            const std::uint64_t v =
+                rng.next() & (n == 64 ? ~0ull : ((1ull << n) - 1));
+            writes.emplace_back(v, n);
+            bw.write(v, n);
+            bits += n;
+        }
+        EXPECT_EQ(bw.bitSize(), bits);
+        BitReader br(bw.bytes());
+        for (const auto &[v, n] : writes)
+            EXPECT_EQ(br.read(n), v);
     }
-    BitReader br(bw.bytes());
-    for (const auto &[v, n] : writes)
-        EXPECT_EQ(br.read(n), v);
 }
 
 TEST(Bitstream, ByteSizeRoundsUp)
