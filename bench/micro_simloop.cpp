@@ -1,0 +1,290 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation loop itself:
+ * end-to-end refs/sec of System::run() under each L4 organization of
+ * the fig10 comparison, plus System construction cost. Every benchmark
+ * reports heap allocations so storage regressions in the hot loop
+ * (e.g. a node-based map sneaking back in) show up as a counter jump,
+ * not just a slowdown.
+ *
+ * `micro_simloop --check` runs the steady-state allocation gate used
+ * by ctest: it measures allocations per simulated reference in the
+ * steady phase (the delta between a long and a short run of the same
+ * configuration, so construction and cold-start fills cancel) and
+ * fails when the rate exceeds the budget below.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "harness.hpp"
+
+// Global heap-allocation counter (same scheme as micro_compress).
+static std::atomic<std::size_t> g_heap_allocs{0};
+
+// GCC cannot see that the replaced operator new below is the matching
+// malloc-based allocator for these frees.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using dice::L4Kind;
+using dice::System;
+using dice::SystemConfig;
+using namespace dice::bench;
+
+/**
+ * Steady-state allocation budget (allocations per simulated L3
+ * reference) enforced by `--check`. The dense-set + FlatMap storage
+ * sits well under this; the node-map model it replaced ran at ~1.9.
+ */
+constexpr double kMaxSteadyAllocsPerRef = 0.25;
+
+/** Workload every sim-loop benchmark replays (paper Table 3's mcf). */
+constexpr const char *kWorkload = "mcf";
+
+/**
+ * fig10-scale configuration with a fixed reference budget: unlike the
+ * table benches this must not follow DICE_BENCH_REFS, or refs/sec
+ * comparisons across runs would silently measure different work.
+ */
+SystemConfig
+simBase(std::uint64_t refs_per_core)
+{
+    SystemConfig cfg = defaultBase();
+    cfg.refs_per_core = refs_per_core;
+    cfg.warmup_refs_per_core = refs_per_core / 2;
+    return cfg;
+}
+
+SystemConfig
+orgConfig(const std::string &org, std::uint64_t refs_per_core)
+{
+    SystemConfig cfg = simBase(refs_per_core);
+    if (org == "none") {
+        cfg.l4_kind = L4Kind::None;
+        return cfg;
+    }
+    if (org == "alloy")
+        return configureBaseline(cfg);
+    if (org == "tsi")
+        return configureCompressed(cfg, dice::CompressionPolicy::TsiOnly);
+    if (org == "dice")
+        return configureDice(cfg);
+    if (org == "scc") {
+        cfg.l4_kind = L4Kind::Scc;
+        return cfg;
+    }
+    std::fprintf(stderr, "unknown organization %s\n", org.c_str());
+    std::abort();
+}
+
+/** Simulated references one System::run() executes (all phases). */
+double
+refsPerRun(const SystemConfig &cfg)
+{
+    return static_cast<double>(
+        (cfg.refs_per_core + cfg.warmup_refs_per_core) * cfg.num_cores);
+}
+
+/// Reports heap allocations per simulated reference as a counter.
+class AllocScope
+{
+public:
+    AllocScope(benchmark::State &state, double refs_per_iter)
+        : state_(state), refs_per_iter_(refs_per_iter),
+          start_(g_heap_allocs.load(std::memory_order_relaxed))
+    {
+    }
+
+    ~AllocScope()
+    {
+        const std::size_t n =
+            g_heap_allocs.load(std::memory_order_relaxed) - start_;
+        state_.counters["heap_allocs_per_ref"] = benchmark::Counter(
+            static_cast<double>(n) /
+            (refs_per_iter_ *
+             static_cast<double>(state_.iterations())));
+    }
+
+private:
+    benchmark::State &state_;
+    double refs_per_iter_;
+    std::size_t start_;
+};
+
+/** Phase 1: System construction (storage reservation) only. */
+void
+BM_SimBuild(benchmark::State &state, const std::string &org)
+{
+    const SystemConfig cfg = orgConfig(org, 10'000);
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    for (auto _ : state) {
+        System sys(cfg, profiles);
+        benchmark::DoNotOptimize(&sys);
+    }
+}
+
+/**
+ * Phase 2: the full warmup + measurement simulation loop. Long enough
+ * (30k refs/core) that steady-state simulation dominates one-time
+ * construction, as it does in the paper-scale runs.
+ */
+void
+BM_SimLoop(benchmark::State &state, const std::string &org)
+{
+    const SystemConfig cfg = orgConfig(org, 30'000);
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    const double refs = refsPerRun(cfg);
+    AllocScope allocs(state, refs);
+    for (auto _ : state) {
+        System sys(cfg, profiles);
+        dice::RunResult r = sys.run();
+        benchmark::DoNotOptimize(&r);
+    }
+    state.counters["refs_per_sec"] = benchmark::Counter(
+        refs * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+#define DICE_SIM_BENCH(org)                                            \
+    BENCHMARK_CAPTURE(BM_SimBuild, org, #org);                         \
+    BENCHMARK_CAPTURE(BM_SimLoop, org, #org)
+
+DICE_SIM_BENCH(none);
+DICE_SIM_BENCH(alloy);
+DICE_SIM_BENCH(tsi);
+DICE_SIM_BENCH(dice);
+DICE_SIM_BENCH(scc);
+
+#undef DICE_SIM_BENCH
+
+/** Allocations one full System lifetime (construct + run) performs. */
+std::size_t
+allocsForRun(const SystemConfig &cfg)
+{
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    const std::size_t start =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    System sys(cfg, profiles);
+    dice::RunResult r = sys.run();
+    benchmark::DoNotOptimize(&r);
+    return g_heap_allocs.load(std::memory_order_relaxed) - start;
+}
+
+/**
+ * The ctest allocation gate. Two runs of the fig10 DICE cell differing
+ * only in measured references isolate the steady-state allocation
+ * rate; a bounded-storage regression (anything that allocates per
+ * reference, or a memo that grows without bound) trips the budget.
+ */
+int
+runCheck()
+{
+    constexpr std::uint64_t kShortRefs = 10'000;
+    constexpr std::uint64_t kLongRefs = 4 * kShortRefs;
+
+    SystemConfig short_cfg = orgConfig("dice", kShortRefs);
+    SystemConfig long_cfg = orgConfig("dice", kLongRefs);
+    // Identical warmup so cold-start fills cancel in the delta, and a
+    // cache small enough (16 Ki sets) that the warmup touches every
+    // set: per-set storage performs its one-time growth before the
+    // measured window, so the delta isolates true per-reference
+    // allocation. The fig10-sized cache would still be absorbing
+    // first-touch set fills at these reference counts.
+    short_cfg.l4_comp.base.capacity = std::uint64_t{1} << 20;
+    long_cfg.l4_comp.base.capacity = std::uint64_t{1} << 20;
+    long_cfg.warmup_refs_per_core = short_cfg.warmup_refs_per_core;
+
+    const std::size_t short_allocs = allocsForRun(short_cfg);
+    const std::size_t long_allocs = allocsForRun(long_cfg);
+
+    const double extra_refs = static_cast<double>(
+        (kLongRefs - kShortRefs) * short_cfg.num_cores);
+    const std::size_t delta =
+        long_allocs > short_allocs ? long_allocs - short_allocs : 0;
+    const double per_ref = static_cast<double>(delta) / extra_refs;
+
+    std::printf("micro_simloop --check (16 Ki-set dice cell)\n");
+    std::printf("  allocs short run (%llu refs/core): %zu\n",
+                static_cast<unsigned long long>(kShortRefs),
+                short_allocs);
+    std::printf("  allocs long run  (%llu refs/core): %zu\n",
+                static_cast<unsigned long long>(kLongRefs), long_allocs);
+    std::printf("  steady-state allocs/ref: %.4f (budget %.2f)\n",
+                per_ref, kMaxSteadyAllocsPerRef);
+
+    if (per_ref > kMaxSteadyAllocsPerRef) {
+        std::printf("  FAIL: simulation loop allocates beyond budget\n");
+        return 1;
+    }
+    std::printf("  OK\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            return runCheck();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

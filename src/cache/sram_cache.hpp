@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vector.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -39,6 +40,13 @@ struct EvictedLine
     /** Data version carried by the line (see workloads/datagen). */
     std::uint64_t payload = 0;
 };
+
+/**
+ * Dirty victims produced by one install. Inline capacity covers the
+ * overwhelmingly common case (an install evicts at most a few items),
+ * so building the list performs no heap allocation.
+ */
+using WritebackList = SmallVector<EvictedLine, 6>;
 
 /** Set-associative, LRU, write-back, write-allocate SRAM cache. */
 class SramCache

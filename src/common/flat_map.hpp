@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Cache-friendly associative storage for the simulation hot loop.
+ *
+ * The simulator's per-reference state (line versions, write counts,
+ * memoized compressed sizes) used to live in node-based
+ * std::unordered_map instances — one pointer chase plus one heap
+ * allocation per new key, repeated billions of times across a sweep.
+ * Two purpose-built replacements live here:
+ *
+ *  - FlatMap<K, V>: open-addressed hash map over contiguous arrays.
+ *    Power-of-two capacity, linear probing, and tombstone-free
+ *    backward-shift erasure; inserts allocate only on (amortized,
+ *    doubling) growth, so a `reserve`d map runs allocation-free.
+ *
+ *  - BoundedMemo<K, V>: fixed-capacity, generation-versioned memo
+ *    table for pure-function results. Set-associative replacement
+ *    keeps it O(1) and its footprint constant regardless of how many
+ *    distinct keys flow through — the property the compressed cache's
+ *    size memo needs over billion-reference runs.
+ *
+ * Both are deterministic: identical operation sequences produce
+ * identical contents, so simulation results stay bit-reproducible.
+ */
+
+#ifndef DICE_COMMON_FLAT_MAP_HPP
+#define DICE_COMMON_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dice
+{
+
+/** Default FlatMap hash: full-avalanche mixing of integral keys. */
+struct Mix64Hash
+{
+    std::uint64_t
+    operator()(std::uint64_t key) const
+    {
+        return mix64(key);
+    }
+};
+
+/**
+ * Open-addressed hash map with linear probing.
+ *
+ * Supports exactly what the simulator needs — find / operator[] /
+ * insert_or_assign / erase / clear / reserve — over flat arrays with
+ * a separate one-byte occupancy plane, so probe runs stay within a
+ * couple of cache lines. Erasure backward-shifts the displaced run
+ * instead of leaving tombstones, keeping probe lengths tight on
+ * erase-heavy workloads. References returned by find()/operator[] are
+ * invalidated by any mutating call (growth rehashes in place).
+ */
+template <typename K, typename V, typename Hash = Mix64Hash>
+class FlatMap
+{
+  public:
+    /** @param expected_keys Pre-sizes the table (see reserve()). */
+    explicit FlatMap(std::size_t expected_keys = 0)
+    {
+        if (expected_keys > 0)
+            reserve(expected_keys);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Current slot count (always a power of two, or zero). */
+    std::size_t capacity() const { return keys_.size(); }
+
+    /** Grow so @p expected_keys fit without further rehashing. */
+    void
+    reserve(std::size_t expected_keys)
+    {
+        std::size_t want = 16;
+        // Max load factor 3/4: grow until the budget fits.
+        while (want * 3 / 4 < expected_keys)
+            want *= 2;
+        if (want > capacity())
+            rehash(want);
+    }
+
+    /** Drop all entries; keeps the allocated slots. */
+    void
+    clear()
+    {
+        std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+        size_ = 0;
+    }
+
+    /** Pointer to the value of @p key, or nullptr when absent. */
+    V *
+    find(const K &key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        for (std::size_t i = Hash{}(key)&mask_;; i = (i + 1) & mask_) {
+            if (!used_[i])
+                return nullptr;
+            if (keys_[i] == key)
+                return &vals_[i];
+        }
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /** Value of @p key, or @p fallback when absent. */
+    V
+    valueOr(const K &key, V fallback) const
+    {
+        const V *v = find(key);
+        return v ? *v : fallback;
+    }
+
+    /** Reference to the value of @p key, value-initialized if new. */
+    V &
+    operator[](const K &key)
+    {
+        growIfNeeded();
+        const std::size_t i = probe(key);
+        if (!used_[i]) {
+            used_[i] = 1;
+            keys_[i] = key;
+            vals_[i] = V{};
+            ++size_;
+        }
+        return vals_[i];
+    }
+
+    /** Insert or overwrite; returns true when the key was new. */
+    bool
+    insert_or_assign(const K &key, V value)
+    {
+        growIfNeeded();
+        const std::size_t i = probe(key);
+        const bool inserted = !used_[i];
+        if (inserted) {
+            used_[i] = 1;
+            keys_[i] = key;
+            ++size_;
+        }
+        vals_[i] = std::move(value);
+        return inserted;
+    }
+
+    /**
+     * Remove @p key, backward-shifting the displaced probe run so no
+     * tombstone is left behind. Returns true when the key was present.
+     */
+    bool
+    erase(const K &key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t i = Hash{}(key)&mask_;
+        for (;; i = (i + 1) & mask_) {
+            if (!used_[i])
+                return false;
+            if (keys_[i] == key)
+                break;
+        }
+        // Shift successors whose home slot precedes the emptied hole
+        // back into it, preserving every probe chain.
+        std::size_t hole = i;
+        for (std::size_t j = (hole + 1) & mask_; used_[j];
+             j = (j + 1) & mask_) {
+            const std::size_t home = Hash{}(keys_[j]) & mask_;
+            // Move j into the hole unless j's home lies after the hole
+            // (cyclically), in which case the chain stays intact.
+            const bool reachable =
+                ((j - home) & mask_) >= ((j - hole) & mask_);
+            if (reachable) {
+                keys_[hole] = std::move(keys_[j]);
+                vals_[hole] = std::move(vals_[j]);
+                hole = j;
+            }
+        }
+        used_[hole] = 0;
+        --size_;
+        return true;
+    }
+
+  private:
+    /** Slot where @p key lives or must be inserted (table non-empty). */
+    std::size_t
+    probe(const K &key) const
+    {
+        std::size_t i = Hash{}(key)&mask_;
+        while (used_[i] && !(keys_[i] == key))
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (capacity() == 0 || (size_ + 1) * 4 > capacity() * 3)
+            rehash(capacity() == 0 ? 16 : capacity() * 2);
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<K> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+
+        keys_.assign(new_capacity, K{});
+        vals_.assign(new_capacity, V{});
+        used_.assign(new_capacity, 0);
+        mask_ = new_capacity - 1;
+
+        for (std::size_t i = 0; i < old_used.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            const std::size_t j = probe(old_keys[i]);
+            used_[j] = 1;
+            keys_[j] = std::move(old_keys[i]);
+            vals_[j] = std::move(old_vals[i]);
+        }
+    }
+
+    std::vector<K> keys_;
+    std::vector<V> vals_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Fixed-footprint, generation-versioned memo table for pure-function
+ * results (key -> value with value fully determined by key).
+ *
+ * Capacity is fixed at construction: 2^bucket_bits buckets of kWays
+ * slots. A colliding insert deterministically replaces a way instead
+ * of growing, so a miss only ever costs a recomputation — never a
+ * heap allocation — and memory stays flat no matter how many distinct
+ * keys pass through. clear() bumps the generation counter, lazily
+ * invalidating every slot in O(1).
+ */
+template <typename K, typename V>
+class BoundedMemo
+{
+  public:
+    static constexpr std::uint32_t kWays = 4;
+
+    /** @param bucket_bits log2 of the bucket count (default 2^14). */
+    explicit BoundedMemo(std::uint32_t bucket_bits = 14)
+        : bucket_mask_((std::size_t{1} << bucket_bits) - 1),
+          keys_((bucket_mask_ + 1) * kWays, K{}),
+          vals_((bucket_mask_ + 1) * kWays, V{}),
+          gens_((bucket_mask_ + 1) * kWays, 0)
+    {
+    }
+
+    /** Total slots (constant for the memo's lifetime). */
+    std::size_t slotCount() const { return keys_.size(); }
+
+    /** Storage footprint in bytes (constant for the memo's lifetime). */
+    std::size_t
+    capacityBytes() const
+    {
+        return keys_.size() * (sizeof(K) + sizeof(V) + sizeof(gen_));
+    }
+
+    /** Pointer to the memoized value of @p key, or nullptr on miss. */
+    const V *
+    find(const K &key) const
+    {
+        const std::size_t base = bucketOf(key) * kWays;
+        for (std::uint32_t w = 0; w < kWays; ++w) {
+            if (gens_[base + w] == gen_ && keys_[base + w] == key)
+                return &vals_[base + w];
+        }
+        return nullptr;
+    }
+
+    /** Memoize key -> value, evicting a colliding way if needed. */
+    void
+    put(const K &key, V value)
+    {
+        const std::size_t base = bucketOf(key) * kWays;
+        std::size_t victim = base + victimWay(key);
+        for (std::uint32_t w = 0; w < kWays; ++w) {
+            if (gens_[base + w] != gen_) {
+                victim = base + w; // prefer a stale slot
+                break;
+            }
+            if (keys_[base + w] == key) {
+                victim = base + w; // refresh in place
+                break;
+            }
+        }
+        keys_[victim] = key;
+        vals_[victim] = std::move(value);
+        gens_[victim] = gen_;
+    }
+
+    /** Invalidate everything in O(1) via the generation counter. */
+    void
+    clear()
+    {
+        ++gen_;
+        if (gen_ == 0) { // wrapped: slots with gen 0 must not revive
+            std::fill(gens_.begin(), gens_.end(), 0);
+            gen_ = 1;
+        }
+    }
+
+  private:
+    std::size_t
+    bucketOf(const K &key) const
+    {
+        return mix64(static_cast<std::uint64_t>(key)) & bucket_mask_;
+    }
+
+    /** Deterministic replacement way from independent hash bits. */
+    std::uint32_t
+    victimWay(const K &key) const
+    {
+        return static_cast<std::uint32_t>(
+            mix64(static_cast<std::uint64_t>(key)) >> 62);
+    }
+
+    std::size_t bucket_mask_;
+    std::vector<K> keys_;
+    std::vector<V> vals_;
+    std::vector<std::uint32_t> gens_;
+    std::uint32_t gen_ = 1;
+};
+
+} // namespace dice
+
+#endif // DICE_COMMON_FLAT_MAP_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small-buffer vector for the simulation hot loop.
+ *
+ * Eviction writeback lists are built once per install and almost always
+ * hold zero to a handful of entries, but std::vector pays a heap
+ * allocation for the first push_back — millions of allocations per
+ * sweep. SmallVector keeps the first N elements inline and only spills
+ * to the heap beyond that, so the common case allocates nothing.
+ */
+
+#ifndef DICE_COMMON_SMALL_VECTOR_HPP
+#define DICE_COMMON_SMALL_VECTOR_HPP
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace dice
+{
+
+/** Vector with inline storage for the first N elements. */
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(N > 0, "inline capacity must be positive");
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector keeps elements in a plain buffer");
+
+  public:
+    SmallVector() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    push_back(const T &value)
+    {
+        if (spill_.empty()) {
+            if (size_ < N) {
+                buf_[size_++] = value;
+                return;
+            }
+            // First spill: migrate the inline elements so the contents
+            // stay contiguous for iteration.
+            spill_.reserve(2 * N);
+            spill_.insert(spill_.end(), buf_.begin(), buf_.end());
+        }
+        spill_.push_back(value);
+        ++size_;
+    }
+
+    /** Drop all elements; spill capacity is retained for reuse. */
+    void
+    clear()
+    {
+        spill_.clear();
+        size_ = 0;
+    }
+
+    T *data() { return spill_.empty() ? buf_.data() : spill_.data(); }
+    const T *
+    data() const
+    {
+        return spill_.empty() ? buf_.data() : spill_.data();
+    }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+  private:
+    std::size_t size_ = 0;
+    std::array<T, N> buf_{};
+    std::vector<T> spill_;
+};
+
+} // namespace dice
+
+#endif // DICE_COMMON_SMALL_VECTOR_HPP

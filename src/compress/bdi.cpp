@@ -27,6 +27,30 @@ storeElem(Line &line, std::uint32_t k, std::uint32_t idx, std::uint64_t v)
     std::memcpy(line.data() + k * idx, &v, k);
 }
 
+/**
+ * Representability of pre-extended elements under one explicit base
+ * (same rule as representable(), minus the per-mode line reloads).
+ */
+bool
+deltasFit(const std::int64_t *elems, std::uint32_t n_elem,
+          std::uint32_t delta_bits)
+{
+    std::int64_t base = 0;
+    bool base_set = false;
+    for (std::uint32_t i = 0; i < n_elem; ++i) {
+        const std::int64_t val = elems[i];
+        if (fitsSigned(val, delta_bits))
+            continue;
+        if (!base_set) {
+            base = val;
+            base_set = true;
+        }
+        if (!fitsSigned(val - base, delta_bits))
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 std::uint32_t
@@ -210,14 +234,59 @@ BdiCodec::representable(const Line &line, Mode mode) const
 std::uint32_t
 BdiCodec::compressedBits(const Line &line) const
 {
-    static constexpr Mode kOrder[] = {Zeros, Rep8, B8D1, B4D1,
-                                      B8D2,  B2D1, B4D2, B8D4};
-    for (Mode mode : kOrder) {
-        if (payloadBits(mode) >= 8 * kLineSize)
-            continue;
-        if (representable(line, mode))
-            return payloadBits(mode);
+    // Size-only hot path. Modes are tried in the same
+    // smallest-encoding-first order as compress() (Zeros, Rep8, B8D1,
+    // B4D1, B8D2, B2D1, B4D2, B8D4), but the line is loaded once and
+    // the sign-extended element arrays are shared across the modes
+    // with the same base size instead of re-read per mode.
+    std::uint64_t w[kLineSize / 8];
+    std::memcpy(w, line.data(), sizeof(w));
+
+    std::uint64_t any = 0;
+    for (std::uint64_t v : w)
+        any |= v;
+    if (any == 0)
+        return payloadBits(Zeros);
+
+    bool repeated = true;
+    for (std::uint32_t i = 1; i < kLineSize / 8; ++i) {
+        if (w[i] != w[0]) {
+            repeated = false;
+            break;
+        }
     }
+    if (repeated)
+        return payloadBits(Rep8);
+
+    std::int64_t e8[kLineSize / 8];
+    for (std::uint32_t i = 0; i < kLineSize / 8; ++i)
+        e8[i] = static_cast<std::int64_t>(w[i]);
+    if (deltasFit(e8, kLineSize / 8, 8))
+        return payloadBits(B8D1);
+
+    std::int64_t e4[kLineSize / 4];
+    for (std::uint32_t i = 0; i < kLineSize / 4; ++i) {
+        std::uint32_t v;
+        std::memcpy(&v, line.data() + 4 * i, 4);
+        e4[i] = static_cast<std::int32_t>(v);
+    }
+    if (deltasFit(e4, kLineSize / 4, 8))
+        return payloadBits(B4D1);
+    if (deltasFit(e8, kLineSize / 8, 16))
+        return payloadBits(B8D2);
+
+    std::int64_t e2[kLineSize / 2];
+    for (std::uint32_t i = 0; i < kLineSize / 2; ++i) {
+        std::uint16_t v;
+        std::memcpy(&v, line.data() + 2 * i, 2);
+        e2[i] = static_cast<std::int16_t>(v);
+    }
+    if (deltasFit(e2, kLineSize / 2, 8))
+        return payloadBits(B2D1);
+    if (deltasFit(e4, kLineSize / 4, 16))
+        return payloadBits(B4D2);
+    if (deltasFit(e8, kLineSize / 8, 32))
+        return payloadBits(B8D4);
     return 8 * kLineSize;
 }
 

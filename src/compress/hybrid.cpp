@@ -50,14 +50,12 @@ HybridCodec::decompress(const Encoded &enc) const
 std::uint32_t
 HybridCodec::compressedSizeBytes(const Line &line) const
 {
-    bool all_zero = true;
-    for (std::uint8_t b : line) {
-        if (b != 0) {
-            all_zero = false;
-            break;
-        }
-    }
-    if (all_zero)
+    std::uint64_t words[kLineSize / 8];
+    std::memcpy(words, line.data(), sizeof(words));
+    std::uint64_t any = 0;
+    for (std::uint64_t w : words)
+        any |= w;
+    if (any == 0)
         return 0;
 
     const std::uint32_t best_bits =
@@ -76,22 +74,18 @@ loadElem(const Line &line, std::uint32_t k, std::uint32_t idx)
     return v;
 }
 
-/** Representability of the pair under one shared-base BDI mode. */
+/**
+ * Representability of pre-extended pair elements under one explicit
+ * shared base (the rule sharedBaseEncode() applies, size-only).
+ */
 bool
-pairRepresentable(const Line &a, const Line &b, BdiCodec::Mode mode)
+pairDeltasFit(const std::int64_t *elems, std::uint32_t n_elem,
+              std::uint32_t delta_bits)
 {
-    const std::uint32_t k = BdiCodec::baseBytes(mode);
-    const std::uint32_t d = BdiCodec::deltaBytes(mode);
-    const std::uint32_t n_elem = kLineSize / k;
-    const std::uint32_t delta_bits = 8 * d;
-
     std::int64_t base_val = 0;
     bool base_set = false;
-    for (std::uint32_t i = 0; i < 2 * n_elem; ++i) {
-        const Line &src = i < n_elem ? a : b;
-        const std::uint32_t idx = i < n_elem ? i : i - n_elem;
-        const std::int64_t val =
-            signExtend(loadElem(src, k, idx), 8 * k);
+    for (std::uint32_t i = 0; i < n_elem; ++i) {
+        const std::int64_t val = elems[i];
         if (fitsSigned(val, delta_bits))
             continue;
         if (!base_set) {
@@ -102,6 +96,18 @@ pairRepresentable(const Line &a, const Line &b, BdiCodec::Mode mode)
             return false;
     }
     return true;
+}
+
+/** Sign-extended k-byte elements of @p a then @p b. */
+void
+extractPairElems(const Line &a, const Line &b, std::uint32_t k,
+                 std::int64_t *out)
+{
+    const std::uint32_t n = kLineSize / k;
+    for (std::uint32_t i = 0; i < n; ++i)
+        out[i] = signExtend(loadElem(a, k, i), 8 * k);
+    for (std::uint32_t i = 0; i < n; ++i)
+        out[n + i] = signExtend(loadElem(b, k, i), 8 * k);
 }
 
 /** Joint payload bits of a shared-base pair encoding. */
@@ -119,15 +125,50 @@ pairPayloadBits(BdiCodec::Mode mode)
 std::uint32_t
 HybridCodec::pairSizeBytes(const Line &a, const Line &b) const
 {
-    std::uint32_t best_bits = 8 * (compressedSizeBytes(a) +
-                                   compressedSizeBytes(b));
+    return pairSizeBytes(a, b, compressedSizeBytes(a),
+                         compressedSizeBytes(b));
+}
+
+std::uint32_t
+HybridCodec::pairSizeBytes(const Line &a, const Line &b,
+                           std::uint32_t a_bytes,
+                           std::uint32_t b_bytes) const
+{
+    std::uint32_t best_bits = 8 * (a_bytes + b_bytes);
+    // Same mode set and min rule as compressPair(), with the pair's
+    // elements extracted once per base size and shared across modes.
     static constexpr BdiCodec::Mode kDeltaModes[] = {
         BdiCodec::B8D1, BdiCodec::B4D1, BdiCodec::B8D2,
         BdiCodec::B4D2, BdiCodec::B2D1, BdiCodec::B8D4,
     };
+    std::int64_t e8[2 * kLineSize / 8];
+    std::int64_t e4[2 * kLineSize / 4];
+    std::int64_t e2[2 * kLineSize / 2];
+    bool have8 = false, have4 = false, have2 = false;
     for (auto mode : kDeltaModes) {
         const std::uint32_t bits = pairPayloadBits(mode);
-        if (bits < best_bits && pairRepresentable(a, b, mode))
+        if (bits >= best_bits)
+            continue;
+        const std::uint32_t k = BdiCodec::baseBytes(mode);
+        const std::int64_t *elems;
+        if (k == 8) {
+            if (!have8)
+                extractPairElems(a, b, 8, e8);
+            have8 = true;
+            elems = e8;
+        } else if (k == 4) {
+            if (!have4)
+                extractPairElems(a, b, 4, e4);
+            have4 = true;
+            elems = e4;
+        } else {
+            if (!have2)
+                extractPairElems(a, b, 2, e2);
+            have2 = true;
+            elems = e2;
+        }
+        if (pairDeltasFit(elems, 2 * kLineSize / k,
+                          8 * BdiCodec::deltaBytes(mode)))
             best_bits = bits;
     }
     return (best_bits + 7) / 8;

@@ -71,6 +71,16 @@ class HybridCodec : public Codec
     std::uint32_t pairSizeBytes(const Line &a, const Line &b) const;
 
     /**
+     * Same, with the lines' independent compressed sizes supplied by
+     * a caller that already knows them (e.g. from a memo) — the joint
+     * pass then only evaluates the shared-base pair modes instead of
+     * re-running both single-line codecs.
+     */
+    std::uint32_t pairSizeBytes(const Line &a, const Line &b,
+                                std::uint32_t a_bytes,
+                                std::uint32_t b_bytes) const;
+
+    /**
      * Compress adjacent lines @p a and @p b together, sharing one BDI
      * base when that beats independent encodings.
      */

@@ -19,7 +19,7 @@ constexpr std::uint32_t kWriteBytes = 72;
 AlloyCache::AlloyCache(const DramCacheConfig &config, std::string name)
     : DramCache(config, std::move(name)),
       indexer_(floorLog2(config.capacity / kLineSize)),
-      mapper_(config.timing)
+      mapper_(config.timing), sets_(config.capacity / kLineSize)
 {
     dice_assert(isPowerOfTwo(config.capacity / kLineSize),
                 "Alloy capacity must give a power-of-two set count");
@@ -36,10 +36,10 @@ AlloyCache::read(LineAddr line, Cycle now)
     res.dram_accesses = 1;
     res.done = dram.done + config_.controller_latency;
 
-    const auto it = sets_.find(set);
-    if (it != sets_.end() && it->second.line == line) {
+    const Entry &e = sets_[set];
+    if (e.valid && e.line == line) {
         res.hit = true;
-        res.payload = it->second.payload;
+        res.payload = e.payload;
         ++read_hits_;
     } else {
         ++read_misses_;
@@ -68,16 +68,18 @@ AlloyCache::install(LineAddr line, std::uint64_t payload, bool dirty,
         ++res.dram_accesses;
     }
 
-    const auto it = sets_.find(set);
-    if (it != sets_.end() && it->second.line == line) {
-        it->second.dirty = it->second.dirty || dirty;
-        it->second.payload = payload;
+    Entry &e = sets_[set];
+    if (e.valid && e.line == line) {
+        e.dirty = e.dirty || dirty;
+        e.payload = payload;
     } else {
-        if (it != sets_.end() && it->second.dirty) {
+        if (e.valid && e.dirty) {
             res.writebacks.push_back(
-                EvictedLine{it->second.line, true, it->second.payload});
+                EvictedLine{e.line, true, e.payload});
         }
-        sets_[set] = Entry{line, payload, dirty};
+        if (!e.valid)
+            ++valid_count_;
+        e = Entry{line, payload, true, dirty};
     }
 
     device_.access(mapper_.coord(set), kWriteBytes, when, true);
@@ -88,14 +90,14 @@ AlloyCache::install(LineAddr line, std::uint64_t payload, bool dirty,
 bool
 AlloyCache::contains(LineAddr line) const
 {
-    const auto it = sets_.find(indexer_.tsi(line));
-    return it != sets_.end() && it->second.line == line;
+    const Entry &e = sets_[indexer_.tsi(line)];
+    return e.valid && e.line == line;
 }
 
 std::uint64_t
 AlloyCache::validLines() const
 {
-    return sets_.size();
+    return valid_count_;
 }
 
 DramCacheConfig

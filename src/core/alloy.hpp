@@ -13,7 +13,7 @@
 #ifndef DICE_CORE_ALLOY_HPP
 #define DICE_CORE_ALLOY_HPP
 
-#include <unordered_map>
+#include <vector>
 
 #include "core/dram_cache.hpp"
 #include "core/indexing.hpp"
@@ -42,13 +42,15 @@ class AlloyCache : public DramCache
     {
         LineAddr line = 0;
         std::uint64_t payload = 0;
+        bool valid = false;
         bool dirty = false;
     };
 
     SetIndexer indexer_;
     DramCacheAddressMapper mapper_;
-    /** Sparse direct-mapped array: set -> resident TAD. */
-    std::unordered_map<std::uint64_t, Entry> sets_;
+    /** Dense direct-mapped array indexed by set: one resident TAD. */
+    std::vector<Entry> sets_;
+    std::uint64_t valid_count_ = 0;
 };
 
 /** Convenience factories for the ideal limit-study configurations. */

@@ -32,7 +32,7 @@ CompressedDramCache::CompressedDramCache(
     : DramCache(config.base, std::move(name)), cfg_(config),
       indexer_(floorLog2(config.base.capacity / kLineSize)),
       mapper_(config.base.timing), source_(source),
-      cip_(config.cip_entries)
+      cip_(config.cip_entries), sets_(config.base.capacity / kLineSize)
 {
     dice_assert(isPowerOfTwo(config.base.capacity / kLineSize),
                 "compressed cache needs a power-of-two set count");
@@ -115,14 +115,41 @@ CompressedDramCache::sizeOf(LineAddr line, std::uint64_t payload) const
     // The memo is per cache instance, and a cache instance belongs to
     // exactly one System: concurrent Systems (the parallel bench
     // engine) each mutate their own memo, so no locking is needed.
-    // The size-only codec route below performs no heap allocation.
+    // It is also bounded (collisions recompute, never grow) and the
+    // size-only codec route below performs no heap allocation, so the
+    // whole lookup path is allocation-free.
     const std::uint64_t key = mix64(line, payload);
-    const auto it = size_cache_.find(key);
-    if (it != size_cache_.end())
-        return it->second;
+    if (const std::uint32_t *hit = size_cache_.find(key))
+        return *hit;
     const std::uint32_t size =
         codec_.compressedSizeBytes(source_.bytes(line, payload));
-    size_cache_.emplace(key, size);
+    size_cache_.put(key, size);
+    return size;
+}
+
+std::uint32_t
+CompressedDramCache::pairSizeOf(LineAddr base, std::uint64_t even_payload,
+                                std::uint64_t odd_payload) const
+{
+    const std::uint64_t key =
+        mix64(mix64(base, even_payload), odd_payload);
+    if (const std::uint32_t *hit = pair_size_cache_.find(key))
+        return *hit;
+    // The single-line sizes usually sit in the size memo (the line
+    // being installed was just sized; its neighbor was sized when it
+    // arrived), so the joint pass only pays for the pair modes — and
+    // when the independent sizes already beat every shared-base mode
+    // (the smallest is B8D1's 24 B), the lines need not even be
+    // synthesized.
+    const std::uint32_t even_bytes = sizeOf(base, even_payload);
+    const std::uint32_t odd_bytes = sizeOf(base | 1, odd_payload);
+    const std::uint32_t size =
+        even_bytes + odd_bytes <= 24
+            ? even_bytes + odd_bytes
+            : codec_.pairSizeBytes(source_.bytes(base, even_payload),
+                                   source_.bytes(base | 1, odd_payload),
+                                   even_bytes, odd_bytes);
+    pair_size_cache_.put(key, size);
     return size;
 }
 
@@ -152,10 +179,7 @@ CompressedDramCache::read(LineAddr line, Cycle now)
         ++read_hits_;
     };
 
-    const auto primary_it = sets_.find(cand.primary);
-    TadLookup lk1;
-    if (primary_it != sets_.end())
-        lk1 = primary_it->second.lookup(line);
+    const TadLookup lk1 = sets_[cand.primary].lookup(line);
 
     if (lk1.found) {
         finishHit(cand.primary, lk1, probe1.done);
@@ -175,10 +199,7 @@ CompressedDramCache::read(LineAddr line, Cycle now)
     // second access is issued only when it does. In KNL mode there is
     // no neighbor tag, so the controller issues a merged probe of the
     // alternate set whenever the first probe did not hit.
-    const auto secondary_it = sets_.find(cand.secondary);
-    TadLookup lk2;
-    if (secondary_it != sets_.end())
-        lk2 = secondary_it->second.lookup(line);
+    const TadLookup lk2 = sets_[cand.secondary].lookup(line);
 
     const IndexScheme alternate_scheme =
         cand.primary_scheme == IndexScheme::BAI ? IndexScheme::TSI
@@ -224,10 +245,11 @@ CompressedDramCache::removeResident(TadSet &set, LineAddr line)
     dice_assert(lk.found, "removeResident of absent line");
     std::uint32_t survivor_bytes = 0;
     if (lk.in_pair) {
+        // The pair item holds both halves, so the lookup above already
+        // reported the survivor's payload.
+        dice_assert(lk.neighbor_present, "pair without its other half");
         const LineAddr neighbor = SetIndexer::spatialNeighbor(line);
-        const TadLookup nb = set.lookup(neighbor);
-        dice_assert(nb.found, "pair without its other half");
-        survivor_bytes = sizeOf(neighbor, nb.payload);
+        survivor_bytes = sizeOf(neighbor, lk.neighbor_payload);
     }
     set.remove(line, survivor_bytes);
 }
@@ -257,6 +279,13 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
     res.dram_accesses = 0;
     Cycle when = now;
 
+    // Everything below mutates at most the target set and its
+    // alternate (the only other place the line can live), so the
+    // resident-line count is settled from their before/after deltas.
+    const std::uint64_t alt = SetIndexer::alternateSet(target);
+    const std::uint64_t lines_before =
+        sets_[target].lineCount() + sets_[alt].lineCount();
+
     // Writebacks (and fills whose read probe went to the other set)
     // first read the target TAD to learn what is resident.
     if (!after_read_miss) {
@@ -268,20 +297,25 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
     }
 
     const bool dual = cfg_.policy == CompressionPolicy::Dice && !invariant;
+    bool resident_in_target; // membership before any scrubbing below
     if (dual) {
+        // One membership probe per candidate set serves the write
+        // predictor, the duplicate scrub, and the update check: the
+        // TSI and BAI sets are the only two places the line can be,
+        // and nothing mutates them between these uses.
+        const std::uint64_t tsi_set = indexer_.tsi(line);
+        const std::uint64_t bai_set = indexer_.bai(line);
+        const bool in_tsi = sets_[tsi_set].contains(line);
+        const bool in_bai = sets_[bai_set].contains(line);
+
         // Score the size-based write predictor against where the line
         // actually was.
         const IndexScheme predicted =
             cip_.predictWrite(size, cfg_.threshold_bytes);
         IndexScheme actual = predicted;
-        const std::uint64_t tsi_set = indexer_.tsi(line);
-        const std::uint64_t bai_set = indexer_.bai(line);
-        const auto tsi_it = sets_.find(tsi_set);
-        const auto bai_it = sets_.find(bai_set);
-        if (tsi_it != sets_.end() && tsi_it->second.contains(line)) {
+        if (in_tsi) {
             actual = IndexScheme::TSI;
-        } else if (bai_it != sets_.end() &&
-                   bai_it->second.contains(line)) {
+        } else if (in_bai) {
             actual = IndexScheme::BAI;
         }
         cip_.scoreWrite(predicted, actual);
@@ -289,22 +323,25 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
         // Scrub a stale copy from the alternate location so a line is
         // never valid under both indexings at once.
         const std::uint64_t other = SetIndexer::alternateSet(target);
-        const auto other_it = sets_.find(other);
-        if (other_it != sets_.end() && other_it->second.contains(line)) {
-            removeResident(other_it->second, line);
+        const bool in_other = other == tsi_set ? in_tsi : in_bai;
+        if (in_other) {
+            removeResident(sets_[other], line);
             device_.access(mapper_.coord(other), 72, when, true);
             ++res.dram_accesses;
             ++duplicate_scrubs_;
         }
 
         cip_.train(line, scheme);
+        resident_in_target = target == tsi_set ? in_tsi : in_bai;
+    } else {
+        resident_in_target = sets_[target].contains(line);
     }
 
     TadSet &set = sets_[target];
 
     // An update of a resident line is a remove + reinsert with the new
     // compressed size (its old copy is superseded, never written back).
-    if (set.contains(line))
+    if (resident_in_target)
         removeResident(set, line);
 
     // Try to merge with the spatial neighbor into a shared-tag pair.
@@ -313,12 +350,9 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
     bool inserted = false;
     if (nb.found && cfg_.pair_compression) {
         const LineAddr base = SetIndexer::pairBase(line);
-        const Line even_bytes = source_.bytes(
-            base, (line & 1) == 0 ? payload : nb.payload);
-        const Line odd_bytes = source_.bytes(
-            base | 1, (line & 1) == 1 ? payload : nb.payload);
-        const std::uint32_t pair_bytes =
-            codec_.pairSizeBytes(even_bytes, odd_bytes);
+        const std::uint32_t pair_bytes = pairSizeOf(
+            base, (line & 1) == 0 ? payload : nb.payload,
+            (line & 1) == 1 ? payload : nb.payload);
         if (kTadTagBytes + pair_bytes <= kTadSetBytes) { // pair fits a TAD
             removeResident(set, neighbor);
             while (!set.fits(pair_bytes, 2)) {
@@ -348,6 +382,9 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
 
     device_.access(mapper_.coord(target), 72, when, true);
     ++res.dram_accesses;
+
+    valid_lines_ += sets_[target].lineCount() + sets_[alt].lineCount();
+    valid_lines_ -= lines_before;
     return res;
 }
 
@@ -356,8 +393,7 @@ CompressedDramCache::contains(LineAddr line) const
 {
     for (const IndexScheme scheme :
          {IndexScheme::TSI, IndexScheme::NSI, IndexScheme::BAI}) {
-        const auto it = sets_.find(indexer_.set(line, scheme));
-        if (it != sets_.end() && it->second.contains(line))
+        if (sets_[indexer_.set(line, scheme)].contains(line))
             return true;
     }
     return false;
@@ -366,17 +402,14 @@ CompressedDramCache::contains(LineAddr line) const
 std::uint64_t
 CompressedDramCache::validLines() const
 {
-    std::uint64_t total = 0;
-    for (const auto &[idx, set] : sets_)
-        total += set.lineCount();
-    return total;
+    return valid_lines_;
 }
 
 std::uint64_t
 CompressedDramCache::bytesUsed() const
 {
     std::uint64_t total = 0;
-    for (const auto &[idx, set] : sets_)
+    for (const TadSet &set : sets_)
         total += set.bytesUsed();
     return total;
 }

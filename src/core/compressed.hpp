@@ -19,8 +19,9 @@
 #ifndef DICE_CORE_COMPRESSED_HPP
 #define DICE_CORE_COMPRESSED_HPP
 
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "compress/hybrid.hpp"
 #include "core/cip.hpp"
 #include "core/data_source.hpp"
@@ -95,6 +96,17 @@ class CompressedDramCache : public DramCache
     /** Bytes of compressed payload + tags currently resident. */
     std::uint64_t bytesUsed() const;
 
+    /**
+     * Combined storage footprint of the compressed-size memos
+     * (constant for the cache's lifetime — both are bounded, see
+     * BoundedMemo).
+     */
+    std::size_t sizeMemoCapacityBytes() const
+    {
+        return size_cache_.capacityBytes() +
+               pair_size_cache_.capacityBytes();
+    }
+
     void resetStats() override;
 
     StatGroup stats() const override;
@@ -118,6 +130,10 @@ class CompressedDramCache : public DramCache
     /** Compressed size (bytes) of the current data of @p line. */
     std::uint32_t sizeOf(LineAddr line, std::uint64_t payload) const;
 
+    /** Compressed size (bytes) of the joint pair (base, base|1). */
+    std::uint32_t pairSizeOf(LineAddr base, std::uint64_t even_payload,
+                             std::uint64_t odd_payload) const;
+
     /**
      * Remove @p line from @p set, recomputing the surviving half's
      * single-line size when the line was in a pair.
@@ -133,10 +149,30 @@ class CompressedDramCache : public DramCache
     HybridCodec codec_;
     Cip cip_;
 
-    std::unordered_map<std::uint64_t, TadSet> sets_;
-    /** Memoized compressed sizes keyed by mix64(line, version). */
-    mutable std::unordered_map<std::uint64_t, std::uint32_t> size_cache_;
+    /** Dense per-set state, directly indexed by set number. */
+    std::vector<TadSet> sets_;
+    /**
+     * Memoized compressed sizes keyed by mix64(line, version). Bounded
+     * and generation-versioned: a collision recomputes instead of
+     * growing, so the memo's footprint stays flat over arbitrarily
+     * long runs (it used to be an unbounded map that never evicted).
+     * 2^18 buckets x 4 ways (16 MiB) covers the resident-line working
+     * set of the capacities this study sweeps — smaller memos spill
+     * the gigabyte-cache working set and re-run the codec on lines
+     * whose sizes were already known.
+     */
+    mutable BoundedMemo<std::uint64_t, std::uint32_t> size_cache_{18};
+    /**
+     * Same idea for joint pair sizes, keyed by a mix64 chain over
+     * (pair base, even version, odd version). Without it every install
+     * next to a resident neighbor re-synthesizes both lines and runs
+     * the joint codec again.
+     */
+    mutable BoundedMemo<std::uint64_t, std::uint32_t> pair_size_cache_{
+        16};
     std::uint64_t lru_clock_ = 0;
+    /** Resident logical lines, maintained across install's mutations. */
+    std::uint64_t valid_lines_ = 0;
 
     std::uint64_t installs_invariant_ = 0;
     std::uint64_t installs_bai_ = 0;

@@ -60,7 +60,7 @@ struct L4WriteResult
     /** DRAM-cache accesses consumed. */
     std::uint32_t dram_accesses = 1;
     /** Dirty victims that must now be written to main memory. */
-    std::vector<EvictedLine> writebacks;
+    WritebackList writebacks;
 };
 
 /** Abstract L4 DRAM cache. */

@@ -13,7 +13,11 @@ SccCache::SccCache(const DramCacheConfig &config,
                    const LineDataSource &source, std::string name)
     : DramCache(config, std::move(name)),
       num_sets_(config.capacity / kLineSize / kWays),
-      mapper_(config.timing), source_(source)
+      mapper_(config.timing), source_(source),
+      sets_(config.capacity / kLineSize / kWays,
+            TadSet(/*budget=*/kWays * kTadSetBytes,
+                   /*max_lines=*/kWays * 4,
+                   /*tag_bytes=*/2))
 {
     dice_assert(num_sets_ > 0, "SCC cache too small");
 }
@@ -22,20 +26,6 @@ std::uint64_t
 SccCache::setOf(LineAddr line) const
 {
     return (line / kSuperblockLines) % num_sets_;
-}
-
-TadSet &
-SccCache::setState(std::uint64_t set)
-{
-    auto it = sets_.find(set);
-    if (it == sets_.end()) {
-        it = sets_
-                 .emplace(set, TadSet(/*budget=*/kWays * kTadSetBytes,
-                                      /*max_lines=*/kWays * 4,
-                                      /*tag_bytes=*/2))
-                 .first;
-    }
-    return it->second;
 }
 
 Cycle
@@ -71,7 +61,7 @@ SccCache::read(LineAddr line, Cycle now)
     res.dram_accesses = 0;
     const Cycle tags_done = probeTags(set, now, res.dram_accesses, true);
 
-    TadSet &state = setState(set);
+    TadSet &state = sets_[set];
     const TadLookup lk = state.lookup(line);
     if (!lk.found) {
         res.done = tags_done + config_.controller_latency;
@@ -107,7 +97,8 @@ SccCache::install(LineAddr line, std::uint64_t payload, bool dirty,
     if (!after_read_miss)
         when = probeTags(set, now, res.dram_accesses, false);
 
-    TadSet &state = setState(set);
+    TadSet &state = sets_[set];
+    const std::uint32_t lines_before = state.lineCount();
     const std::uint32_t size =
         codec_.compressedSizeBytes(source_.bytes(line, payload));
 
@@ -122,23 +113,22 @@ SccCache::install(LineAddr line, std::uint64_t payload, bool dirty,
     device_.access(mapper_.coord(mix64(set, 7) % (num_sets_ * kWays)), 72,
                    when, true);
     ++res.dram_accesses;
+
+    valid_lines_ += state.lineCount();
+    valid_lines_ -= lines_before;
     return res;
 }
 
 bool
 SccCache::contains(LineAddr line) const
 {
-    const auto it = sets_.find(setOf(line));
-    return it != sets_.end() && it->second.contains(line);
+    return sets_[setOf(line)].contains(line);
 }
 
 std::uint64_t
 SccCache::validLines() const
 {
-    std::uint64_t total = 0;
-    for (const auto &[idx, set] : sets_)
-        total += set.lineCount();
-    return total;
+    return valid_lines_;
 }
 
 } // namespace dice

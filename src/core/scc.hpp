@@ -22,7 +22,7 @@
 #ifndef DICE_CORE_SCC_HPP
 #define DICE_CORE_SCC_HPP
 
-#include <unordered_map>
+#include <vector>
 
 #include "compress/hybrid.hpp"
 #include "core/data_source.hpp"
@@ -57,14 +57,16 @@ class SccCache : public DramCache
     /** Issue the tag probes; returns the cycle all tags are known. */
     Cycle probeTags(std::uint64_t set, Cycle now, std::uint32_t &accesses,
                     bool demand);
-    TadSet &setState(std::uint64_t set);
 
     std::uint64_t num_sets_;
     DramCacheAddressMapper mapper_;
     const LineDataSource &source_;
     HybridCodec codec_;
-    std::unordered_map<std::uint64_t, TadSet> sets_;
+    /** Dense per-set state, directly indexed by set number. */
+    std::vector<TadSet> sets_;
     std::uint64_t lru_clock_ = 0;
+    /** Resident logical lines, maintained across install's mutations. */
+    std::uint64_t valid_lines_ = 0;
 };
 
 } // namespace dice

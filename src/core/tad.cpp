@@ -7,102 +7,23 @@
 namespace dice
 {
 
-std::uint32_t
-TadSet::bytesUsed() const
-{
-    std::uint32_t total = 0;
-    for (const TadItem &it : items_)
-        total += tag_bytes_ + it.data_bytes;
-    return total;
-}
-
-std::uint32_t
-TadSet::lineCount() const
-{
-    std::uint32_t total = 0;
-    for (const TadItem &it : items_)
-        total += it.lineCount();
-    return total;
-}
-
-TadItem *
-TadSet::find(LineAddr line)
-{
-    for (TadItem &it : items_) {
-        if (it.holds(line))
-            return &it;
-    }
-    return nullptr;
-}
-
-const TadItem *
-TadSet::find(LineAddr line) const
-{
-    return const_cast<TadSet *>(this)->find(line);
-}
-
-TadLookup
-TadSet::lookup(LineAddr line) const
-{
-    TadLookup res;
-    const TadItem *it = find(line);
-    if (!it)
-        return res;
-
-    const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
-    res.found = true;
-    res.dirty = it->dirty[slot];
-    res.bai = it->bai;
-    res.in_pair = it->is_pair;
-    res.payload = it->payload[slot];
-
-    const LineAddr neighbor = line ^ 1;
-    if (const TadItem *nb = find(neighbor)) {
-        const std::uint32_t nslot = nb->is_pair ? (neighbor & 1) : 0;
-        res.neighbor_present = true;
-        res.neighbor_payload = nb->payload[nslot];
-    }
-    return res;
-}
-
-bool
-TadSet::contains(LineAddr line) const
-{
-    return find(line) != nullptr;
-}
-
-void
-TadSet::touch(LineAddr line, std::uint64_t lru_stamp)
-{
-    if (TadItem *it = find(line))
-        it->lru = lru_stamp;
-}
-
-bool
-TadSet::markDirty(LineAddr line, std::uint64_t payload)
-{
-    TadItem *it = find(line);
-    if (!it)
-        return false;
-    const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
-    it->dirty[slot] = true;
-    it->payload[slot] = payload;
-    return true;
-}
-
 std::optional<EvictedLine>
 TadSet::remove(LineAddr line, std::uint32_t remaining_bytes)
 {
+    const std::uint64_t key = keyOf(line);
     for (std::size_t i = 0; i < items_.size(); ++i) {
         TadItem &it = items_[i];
-        if (!it.holds(line))
+        if (keys_[i] != key || !it.holds(line))
             continue;
 
         std::optional<EvictedLine> out;
         if (!it.is_pair) {
             if (it.dirty[0])
                 out = EvictedLine{it.base, true, it.payload[0]};
+            bytes_used_ -= tag_bytes_ + it.data_bytes;
+            --line_count_;
             items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+            keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(i));
             return out;
         }
 
@@ -111,12 +32,18 @@ TadSet::remove(LineAddr line, std::uint32_t remaining_bytes)
             out = EvictedLine{line, true, it.payload[slot]};
         it.valid[slot] = false;
         it.dirty[slot] = false;
+        --line_count_;
 
         const std::uint32_t other = slot ^ 1;
         if (!it.valid[other]) {
+            bytes_used_ -= tag_bytes_ + it.data_bytes;
             items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+            keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(i));
             return out;
         }
+        // The pair's payload shrinks to the survivor's single-line size.
+        bytes_used_ += remaining_bytes;
+        bytes_used_ -= it.data_bytes;
         // The survivor becomes a single-line item.
         TadItem single;
         single.base = it.base | other;
@@ -134,7 +61,7 @@ TadSet::remove(LineAddr line, std::uint32_t remaining_bytes)
 }
 
 bool
-TadSet::evictLru(LineAddr protect, std::vector<EvictedLine> &writebacks)
+TadSet::evictLru(LineAddr protect, WritebackList &writebacks)
 {
     std::size_t victim = items_.size();
     for (std::size_t i = 0; i < items_.size(); ++i) {
@@ -155,7 +82,10 @@ TadSet::evictLru(LineAddr protect, std::vector<EvictedLine> &writebacks)
                 EvictedLine{it.base | slot, true, it.payload[slot]});
         }
     }
+    bytes_used_ -= tag_bytes_ + it.data_bytes;
+    line_count_ -= it.lineCount();
     items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(victim));
+    keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(victim));
     return true;
 }
 
@@ -175,11 +105,14 @@ TadSet::insertSingle(LineAddr line, std::uint32_t data_bytes, bool dirty,
     it.bai = bai;
     it.lru = lru_stamp;
     items_.push_back(it);
+    keys_.push_back(keyOf(line));
+    bytes_used_ += tag_bytes_ + data_bytes;
+    ++line_count_;
 
-    dice_assert(bytesUsed() <= budget_bytes_, "set overfull: %u bytes",
-                bytesUsed());
-    dice_assert(lineCount() <= max_lines_, "set overfull: %u lines",
-                lineCount());
+    dice_assert(bytes_used_ <= budget_bytes_, "set overfull: %u bytes",
+                bytes_used_);
+    dice_assert(line_count_ <= max_lines_, "set overfull: %u lines",
+                line_count_);
 }
 
 void
@@ -203,11 +136,14 @@ TadSet::insertPair(LineAddr base, std::uint32_t data_bytes, bool dirty0,
     it.bai = bai;
     it.lru = lru_stamp;
     items_.push_back(it);
+    keys_.push_back(keyOf(base));
+    bytes_used_ += tag_bytes_ + data_bytes;
+    line_count_ += 2;
 
-    dice_assert(bytesUsed() <= budget_bytes_, "set overfull: %u bytes",
-                bytesUsed());
-    dice_assert(lineCount() <= max_lines_, "set overfull: %u lines",
-                lineCount());
+    dice_assert(bytes_used_ <= budget_bytes_, "set overfull: %u bytes",
+                bytes_used_);
+    dice_assert(line_count_ <= max_lines_, "set overfull: %u lines",
+                line_count_);
 }
 
 } // namespace dice

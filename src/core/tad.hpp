@@ -107,11 +107,15 @@ class TadSet
     {
     }
 
-    /** Bytes currently consumed by tags + payloads. */
-    std::uint32_t bytesUsed() const;
+    /**
+     * Bytes currently consumed by tags + payloads. Maintained
+     * incrementally: fits() runs inside every install's eviction loop,
+     * so the answer must not cost a scan of the items.
+     */
+    std::uint32_t bytesUsed() const { return bytes_used_; }
 
-    /** Valid logical lines resident. */
-    std::uint32_t lineCount() const;
+    /** Valid logical lines resident (incremental, like bytesUsed). */
+    std::uint32_t lineCount() const { return line_count_; }
 
     /**
      * True when an item with @p extra_data payload bytes (plus one
@@ -124,17 +128,75 @@ class TadSet
                lineCount() + extra_lines <= max_lines_;
     }
 
-    /** Look up @p line; also reports a co-resident spatial neighbor. */
-    TadLookup lookup(LineAddr line) const;
+    /**
+     * Look up @p line; also reports a co-resident spatial neighbor.
+     * Inline (with find/contains below): these run on every cache
+     * probe, and the scans are short enough that the call overhead
+     * would rival the work.
+     */
+    TadLookup
+    lookup(LineAddr line) const
+    {
+        // One key scan resolves both the line and its spatial
+        // neighbor (they share a key; the neighbor is reported only
+        // when the line itself is resident).
+        TadLookup res;
+        const LineAddr neighbor = line ^ 1;
+        const std::uint64_t key = keyOf(line);
+        const TadItem *it = nullptr;
+        const TadItem *nb = nullptr;
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] != key)
+                continue;
+            const TadItem &cand = items_[i];
+            if (!it && cand.holds(line))
+                it = &cand;
+            if (!nb && cand.holds(neighbor))
+                nb = &cand;
+            if (it && nb)
+                break;
+        }
+        if (!it)
+            return res;
+
+        const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
+        res.found = true;
+        res.dirty = it->dirty[slot];
+        res.bai = it->bai;
+        res.in_pair = it->is_pair;
+        res.payload = it->payload[slot];
+
+        if (nb) {
+            const std::uint32_t nslot = nb->is_pair ? (neighbor & 1) : 0;
+            res.neighbor_present = true;
+            res.neighbor_payload = nb->payload[nslot];
+        }
+        return res;
+    }
 
     /** True when @p line is resident. */
-    bool contains(LineAddr line) const;
+    bool contains(LineAddr line) const { return find(line) != nullptr; }
 
     /** Refresh LRU state of the item holding @p line. */
-    void touch(LineAddr line, std::uint64_t lru_stamp);
+    void
+    touch(LineAddr line, std::uint64_t lru_stamp)
+    {
+        if (TadItem *it = find(line))
+            it->lru = lru_stamp;
+    }
 
     /** Mark a resident line dirty and replace its payload. */
-    bool markDirty(LineAddr line, std::uint64_t payload);
+    bool
+    markDirty(LineAddr line, std::uint64_t payload)
+    {
+        TadItem *it = find(line);
+        if (!it)
+            return false;
+        const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
+        it->dirty[slot] = true;
+        it->payload[slot] = payload;
+        return true;
+    }
 
     /**
      * Remove @p line. A pair containing it keeps its other half (the
@@ -149,7 +211,7 @@ class TadSet
      * @p protect. Dirty halves are appended to @p writebacks.
      * @return false when nothing evictable remains.
      */
-    bool evictLru(LineAddr protect, std::vector<EvictedLine> &writebacks);
+    bool evictLru(LineAddr protect, WritebackList &writebacks);
 
     /** Insert a single-line item; caller must have made room. */
     void insertSingle(LineAddr line, std::uint32_t data_bytes, bool dirty,
@@ -169,13 +231,43 @@ class TadSet
     const std::vector<TadItem> &items() const { return items_; }
 
   private:
-    TadItem *find(LineAddr line);
-    const TadItem *find(LineAddr line) const;
+    TadItem *
+    find(LineAddr line)
+    {
+        const std::uint64_t key = keyOf(line);
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key && items_[i].holds(line))
+                return &items_[i];
+        }
+        return nullptr;
+    }
+
+    const TadItem *
+    find(LineAddr line) const
+    {
+        return const_cast<TadSet *>(this)->find(line);
+    }
+
+    /** Scan key of an item: a line and its pair neighbor share one. */
+    static std::uint64_t
+    keyOf(LineAddr line)
+    {
+        return line >> 1;
+    }
 
     std::uint32_t budget_bytes_;
     std::uint32_t max_lines_;
     std::uint32_t tag_bytes_;
+    std::uint32_t bytes_used_ = 0;
+    std::uint32_t line_count_ = 0;
     std::vector<TadItem> items_;
+    /**
+     * items_[i].base >> 1, kept in lockstep with items_. Residency
+     * scans run over this dense array (8 B per item, one compare per
+     * item) instead of striding through 48-B TadItems; only the rare
+     * key match touches the item itself.
+     */
+    std::vector<std::uint64_t> keys_;
 };
 
 } // namespace dice

@@ -4,7 +4,8 @@ namespace dice
 {
 
 MainMemory::MainMemory(const DramTiming &timing)
-    : device_("mem", timing), lines_per_row_(timing.row_bytes / kLineSize)
+    : device_("mem", timing), lines_per_row_(timing.row_bytes / kLineSize),
+      versions_(/*expected_keys=*/1 << 16)
 {
 }
 
@@ -38,8 +39,7 @@ MainMemory::write(LineAddr line, std::uint64_t version, Cycle now)
 std::uint64_t
 MainMemory::versionOf(LineAddr line) const
 {
-    const auto it = versions_.find(line);
-    return it == versions_.end() ? 0 : it->second;
+    return versions_.valueOr(line, 0);
 }
 
 } // namespace dice

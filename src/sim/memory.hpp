@@ -8,8 +8,7 @@
 #ifndef DICE_SIM_MEMORY_HPP
 #define DICE_SIM_MEMORY_HPP
 
-#include <unordered_map>
-
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "dram/dram.hpp"
 #include "dram/timing.hpp"
@@ -41,7 +40,8 @@ class MainMemory
 
     DramDevice device_;
     std::uint32_t lines_per_row_;
-    std::unordered_map<LineAddr, std::uint64_t> versions_;
+    /** Open-addressed line -> version store (hot on every writeback). */
+    FlatMap<LineAddr, std::uint64_t> versions_;
 };
 
 } // namespace dice

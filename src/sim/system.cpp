@@ -19,6 +19,7 @@ System::System(const SystemConfig &config,
                 "expected %u per-core profiles, got %zu", cfg_.num_cores,
                 profiles_.size());
 
+    write_counts_.reserve(1 << 16);
     l3_ = std::make_unique<SramCache>(cfg_.l3);
 
     // Allocate per-core regions scaled so footprint/capacity pressure
@@ -76,12 +77,11 @@ System::bumpVersion(LineAddr line)
 std::uint64_t
 System::expectedVersion(LineAddr line) const
 {
-    const auto it = write_counts_.find(line);
-    return it == write_counts_.end() ? 0 : it->second;
+    return write_counts_.valueOr(line, 0);
 }
 
 void
-System::drainWritebacks(const std::vector<EvictedLine> &wbs, Cycle when)
+System::drainWritebacks(const WritebackList &wbs, Cycle when)
 {
     for (const EvictedLine &wb : wbs)
         mem_.write(wb.line, wb.payload, when);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/sram_cache.hpp"
+#include "common/flat_map.hpp"
 #include "core/compressed.hpp"
 #include "core/dram_cache.hpp"
 #include "core/mapi.hpp"
@@ -183,7 +184,7 @@ class System
     void writebackBelowL3(LineAddr line, std::uint64_t payload,
                           Cycle when);
 
-    void drainWritebacks(const std::vector<EvictedLine> &wbs, Cycle when);
+    void drainWritebacks(const WritebackList &wbs, Cycle when);
 
     std::uint64_t bumpVersion(LineAddr line);
 
@@ -197,7 +198,8 @@ class System
     MainMemory mem_;
     MapI mapi_;
 
-    std::unordered_map<LineAddr, std::uint64_t> write_counts_;
+    /** Open-addressed line -> store count (hot on every write ref). */
+    FlatMap<LineAddr, std::uint64_t> write_counts_;
     std::uint64_t refs_total_ = 0;
     double miss_latency_sum_ = 0.0;
     std::uint64_t miss_latency_count_ = 0;

@@ -35,21 +35,26 @@ DataGenerator::addRegion(LineAddr start, LineAddr end,
                          const WorkloadProfile &profile)
 {
     dice_assert(start < end, "empty data region");
-    regions_.push_back(Region{start, end, &profile});
-    std::sort(regions_.begin(), regions_.end(),
-              [](const Region &a, const Region &b) {
-                  return a.start < b.start;
-              });
+    // Keep regions_ sorted by start so lookups can binary-search.
+    // Regions come from a bump allocator and never overlap.
+    const auto pos = std::lower_bound(
+        regions_.begin(), regions_.end(), start,
+        [](const Region &r, LineAddr s) { return r.start < s; });
+    regions_.insert(pos, Region{start, end, &profile});
 }
 
 const DataGenerator::Region *
 DataGenerator::regionOf(LineAddr line) const
 {
-    for (const Region &r : regions_) {
-        if (line >= r.start && line < r.end)
-            return &r;
-    }
-    return nullptr;
+    // First region with start > line; its predecessor is the only
+    // candidate that can contain the line (regions are disjoint).
+    const auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), line,
+        [](LineAddr l, const Region &r) { return l < r.start; });
+    if (it == regions_.begin())
+        return nullptr;
+    const Region &r = *(it - 1);
+    return line < r.end ? &r : nullptr;
 }
 
 CompClass

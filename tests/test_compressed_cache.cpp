@@ -401,6 +401,29 @@ TEST_P(CompressedPolicy, LineNeverResidentInTwoSets)
     EXPECT_EQ(found, l4.validLines());
 }
 
+TEST(CompressedCache, SizeMemoFootprintFlatOverLongRuns)
+{
+    // Regression test for the unbounded size-cache growth the memo
+    // replaced: every (line, version) pair is a fresh memo key, so a
+    // run with 10x the references must leave the memo footprint — the
+    // only storage that scales with distinct keys — exactly constant.
+    FixedClassSource src(CompClass::C36);
+    CompressedDramCache l4(smallConfig(CompressionPolicy::Dice), src);
+    const std::size_t footprint = l4.sizeMemoCapacityBytes();
+    ASSERT_GT(footprint, 0u);
+
+    std::uint64_t version = 0;
+    auto churn = [&](std::uint64_t installs) {
+        for (std::uint64_t i = 0; i < installs; ++i)
+            l4.install(i % 4096, ++version, true, i, false);
+    };
+
+    churn(2'000);
+    EXPECT_EQ(l4.sizeMemoCapacityBytes(), footprint);
+    churn(20'000);
+    EXPECT_EQ(l4.sizeMemoCapacityBytes(), footprint);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Policies, CompressedPolicy,
     ::testing::Values(CompressionPolicy::TsiOnly,

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Golden-result digests of the simulator.
+ *
+ * One representative (workload, organization) cell per L4Kind is run
+ * at a fixed, environment-independent configuration and every field of
+ * its RunResult (plus white-box L4 occupancy state) is folded into an
+ * FNV-1a digest that must match the value recorded from the seed
+ * model. The digests pin the simulation's *bit-exact* behavior: a
+ * storage refactor (dense set arrays, open-addressed maps, bounded
+ * size memos) must not change a single output bit, and any
+ * intentional model change must consciously re-record them.
+ *
+ * To re-record after an intentional model change, run this binary and
+ * copy the "actual" values from the failure messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "harness.hpp"
+#include "sim/system.hpp"
+
+namespace dice
+{
+namespace
+{
+
+/** FNV-1a over explicitly-fed 64-bit words (stable across builds). */
+class Digest
+{
+public:
+    void
+    feed(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xFF;
+            h_ *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    feed(double v)
+    {
+        feed(std::bit_cast<std::uint64_t>(v));
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return h_;
+    }
+
+private:
+    std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+/**
+ * Fixed small-scale configuration. Mirrors the bench defaults but pins
+ * the reference budget (the bench harness follows DICE_BENCH_REFS,
+ * which would change the digests run-to-run).
+ */
+SystemConfig
+goldenBase()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.refs_per_core = 20'000;
+    cfg.warmup_refs_per_core = 10'000;
+    cfg.reference_capacity = 8_MiB;
+    cfg.l3.size_bytes = 64_KiB;
+    cfg.l4_base.capacity = 8_MiB;
+    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.core.mshrs = 16;
+    cfg.seed = 2017;
+    return cfg;
+}
+
+std::uint64_t
+digestOf(const SystemConfig &cfg, const std::string &workload)
+{
+    System sys(cfg, bench::workloadProfiles(workload, cfg.num_cores));
+    const RunResult r = sys.run();
+
+    Digest d;
+    d.feed(r.cycles);
+    d.feed(r.instructions);
+    d.feed(r.ipc);
+    d.feed(r.l3_hit_rate);
+    d.feed(r.l4_hit_rate);
+    d.feed(r.l4_reads);
+    d.feed(r.l4_extra_lines);
+    d.feed(r.l4_second_probes);
+    d.feed(r.cip_read_accuracy);
+    d.feed(r.cip_write_accuracy);
+    d.feed(r.mapi_accuracy);
+    d.feed(r.frac_invariant);
+    d.feed(r.frac_bai);
+    d.feed(r.frac_tsi);
+    d.feed(r.avg_valid_lines);
+    d.feed(r.l4_bytes);
+    d.feed(r.mem_bytes);
+    d.feed(r.avg_miss_latency);
+    d.feed(r.energy.l4_nj);
+    d.feed(r.energy.mem_nj);
+    d.feed(r.energy.background_nj);
+    d.feed(r.energy.total_nj);
+    d.feed(r.energy.avg_power_w);
+    d.feed(r.energy.edp);
+    d.feed(r.energy.seconds);
+    d.feed(static_cast<std::uint64_t>(r.core_cycles.size()));
+    for (const Cycle c : r.core_cycles)
+        d.feed(c);
+
+    // White-box functional state: residency accounting must survive
+    // the storage swap too, not just the timing outputs.
+    if (DramCache *l4 = sys.l4()) {
+        d.feed(l4->validLines());
+        if (const auto *comp =
+                dynamic_cast<const CompressedDramCache *>(l4))
+            d.feed(comp->bytesUsed());
+    }
+    return d.value();
+}
+
+TEST(Golden, NoneMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::None;
+    EXPECT_EQ(digestOf(cfg, "mcf"), 542617003086962716ull);
+}
+
+TEST(Golden, AlloySoplex)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Alloy;
+    EXPECT_EQ(digestOf(cfg, "soplex"), 1711844114032920024ull);
+}
+
+TEST(Golden, DiceMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    EXPECT_EQ(digestOf(cfg, "mcf"), 2815939932659681256ull);
+}
+
+TEST(Golden, TsiOmnetpp)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::TsiOnly;
+    EXPECT_EQ(digestOf(cfg, "omnetpp"), 10533505985897564659ull);
+}
+
+TEST(Golden, KnlDiceMilc)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4_comp.knl_mode = true;
+    EXPECT_EQ(digestOf(cfg, "milc"), 6622506124237408117ull);
+}
+
+TEST(Golden, SccBcTwi)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Scc;
+    EXPECT_EQ(digestOf(cfg, "bc_twi"), 3569515757373235560ull);
+}
+
+TEST(Golden, MixDice)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    EXPECT_EQ(digestOf(cfg, "mix1"), 17532371284219348020ull);
+}
+
+} // namespace
+} // namespace dice

@@ -58,7 +58,7 @@ class Oracle
     }
 
     void
-    evicted(const std::vector<EvictedLine> &wbs)
+    evicted(const WritebackList &wbs)
     {
         for (const EvictedLine &wb : wbs) {
             const auto it = resident_.find(wb.line);

@@ -138,7 +138,7 @@ TEST(TadSet, EvictLruPicksOldestWholeItem)
     TadSet s;
     s.insertSingle(10, 10, false, 0, false, /*lru=*/5);
     s.insertSingle(42, 10, true, 7, false, /*lru=*/2);
-    std::vector<EvictedLine> wbs;
+    WritebackList wbs;
     EXPECT_TRUE(s.evictLru(/*protect=*/10, wbs));
     EXPECT_FALSE(s.contains(42));
     ASSERT_EQ(wbs.size(), 1u);
@@ -150,7 +150,7 @@ TEST(TadSet, EvictLruNeverEvictsProtectedLine)
 {
     TadSet s;
     s.insertSingle(10, 10, false, 0, false, 1);
-    std::vector<EvictedLine> wbs;
+    WritebackList wbs;
     EXPECT_FALSE(s.evictLru(10, wbs));
     EXPECT_TRUE(s.contains(10));
 }
@@ -159,7 +159,7 @@ TEST(TadSet, EvictLruProtectsThePairOfTheProtectedLine)
 {
     TadSet s;
     s.insertPair(20, 30, false, 0, false, 0, true, 1);
-    std::vector<EvictedLine> wbs;
+    WritebackList wbs;
     // Protecting line 21 protects the whole (20,21) item.
     EXPECT_FALSE(s.evictLru(21, wbs));
 }
@@ -168,7 +168,7 @@ TEST(TadSet, EvictingPairWritesBackBothDirtyHalves)
 {
     TadSet s;
     s.insertPair(20, 30, true, 1, true, 2, true, 1);
-    std::vector<EvictedLine> wbs;
+    WritebackList wbs;
     EXPECT_TRUE(s.evictLru(99, wbs));
     ASSERT_EQ(wbs.size(), 2u);
     EXPECT_EQ(wbs[0].line, 20u);
@@ -181,7 +181,7 @@ TEST(TadSet, TouchUpdatesLruOrder)
     s.insertSingle(10, 10, false, 0, false, 1);
     s.insertSingle(42, 10, false, 0, false, 2);
     s.touch(10, 3); // 10 becomes MRU; 42 is now LRU
-    std::vector<EvictedLine> wbs;
+    WritebackList wbs;
     EXPECT_TRUE(s.evictLru(999, wbs));
     EXPECT_TRUE(s.contains(10));
     EXPECT_FALSE(s.contains(42));
