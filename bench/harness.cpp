@@ -60,6 +60,20 @@ cacheEnabled()
     return std::getenv("DICE_BENCH_NO_CACHE") == nullptr;
 }
 
+/**
+ * Reference streams depend only on (workload, seed, cores, capacity,
+ * length), never on the L4 organization, so freshly-simulated cells
+ * pull their traces from the process-wide TraceArena: a sweep
+ * generates each stream once and every organization column replays
+ * it. DICE_TRACE_ARENA=0 falls back to live per-cell generation.
+ */
+bool
+arenaEnabled()
+{
+    const char *env = std::getenv("DICE_TRACE_ARENA");
+    return env == nullptr || std::string(env) != "0";
+}
+
 std::string
 resultFileName(const std::string &workload, const SystemConfig &config,
                const std::string &cache_key)
@@ -284,8 +298,13 @@ workloadProfiles(const std::string &name, std::uint32_t cores)
         dice_assert(idx < mixSuite().size(), "bad mix name %s",
                     name.c_str());
         std::vector<WorkloadProfile> profiles = mixSuite()[idx];
-        profiles.resize(cores,
-                        profiles[profiles.size() ? 0 : 0]); // 8 expected
+        dice_assert(!profiles.empty(), "mix suite %s has no profiles",
+                    name.c_str());
+        // Copy the fill value out first: resize may reallocate, and
+        // passing a reference into the vector being resized would
+        // read a dangling element.
+        const WorkloadProfile fill = profiles.front();
+        profiles.resize(cores, fill);
         return profiles;
     }
     return std::vector<WorkloadProfile>(cores, profileByName(name));
@@ -322,7 +341,19 @@ runWorkload(const std::string &workload, const SystemConfig &config,
     if (!loaded) {
         std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
                      cache_key.c_str());
-        System sys(config, workloadProfiles(workload, config.num_cores));
+        std::vector<WorkloadProfile> profiles =
+            workloadProfiles(workload, config.num_cores);
+        std::shared_ptr<const TraceSet> replay;
+        if (arenaEnabled()) {
+            // +1: the simulator primes one reference ahead of the
+            // warmup + measurement budget.
+            replay = TraceArena::instance().acquire(
+                workload, config.seed, config.num_cores,
+                config.reference_capacity,
+                config.warmup_refs_per_core + config.refs_per_core + 1,
+                profiles, benchJobs());
+        }
+        System sys(config, std::move(profiles), std::move(replay));
         computed = sys.run();
     }
 

@@ -16,6 +16,12 @@
  * concurrently running bench binaries share work and never read torn
  * files. After the batch run, the per-cell accessors (runWorkload,
  * speedupOver) are cheap cache hits.
+ *
+ * Freshly-simulated cells draw their reference streams from the
+ * process-wide TraceArena: each (workload, seed) stream is generated
+ * once per sweep and replayed bit-identically by every organization
+ * column (DICE_TRACE_ARENA=0 disables; DICE_TRACE_ARENA_BYTES bounds
+ * resident stream memory).
  */
 
 #ifndef DICE_BENCH_HARNESS_HPP

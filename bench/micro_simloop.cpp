@@ -17,12 +17,14 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 
 #include "harness.hpp"
+#include "workloads/trace_arena.hpp"
 
 // Global heap-allocation counter (same scheme as micro_compress).
 static std::atomic<std::size_t> g_heap_allocs{0};
@@ -86,9 +88,11 @@ using namespace dice::bench;
 /**
  * Steady-state allocation budget (allocations per simulated L3
  * reference) enforced by `--check`. The dense-set + FlatMap storage
- * sits well under this; the node-map model it replaced ran at ~1.9.
+ * brought the node-map model's ~1.9 down to ~0.12; replacing the
+ * core model's in-flight deque with a fixed ring removed the
+ * remaining block churn, so the budget tightens accordingly.
  */
-constexpr double kMaxSteadyAllocsPerRef = 0.25;
+constexpr double kMaxSteadyAllocsPerRef = 0.12;
 
 /** Workload every sim-loop benchmark replays (paper Table 3's mcf). */
 constexpr const char *kWorkload = "mcf";
@@ -197,9 +201,63 @@ BM_SimLoop(benchmark::State &state, const std::string &org)
         benchmark::Counter::kIsRate);
 }
 
+/** Stream length one System::run() consumes (prime + all phases). */
+std::uint64_t
+streamRefs(const SystemConfig &cfg)
+{
+    return cfg.warmup_refs_per_core + cfg.refs_per_core + 1;
+}
+
+/** Packed pre-generation throughput: what the arena pays per miss. */
+void
+BM_TraceGen(benchmark::State &state)
+{
+    const SystemConfig cfg = simBase(30'000);
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    const double refs = static_cast<double>(streamRefs(cfg)) *
+                        static_cast<double>(cfg.num_cores);
+    for (auto _ : state) {
+        auto set = dice::generateTraceSet(
+            profiles, cfg.num_cores, cfg.reference_capacity, cfg.seed,
+            streamRefs(cfg), 1);
+        benchmark::DoNotOptimize(&set);
+    }
+    state.counters["refs_per_sec"] = benchmark::Counter(
+        refs * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceGen);
+
+/**
+ * The simulation loop replaying an arena stream instead of running
+ * the generator inline. The refs/sec delta against BM_SimLoop of the
+ * same organization is the per-cell trace-generation share a sweep
+ * saves on every column after the first.
+ */
+void
+BM_SimLoopReplay(benchmark::State &state, const std::string &org)
+{
+    const SystemConfig cfg = orgConfig(org, 30'000);
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    const auto set = dice::generateTraceSet(
+        profiles, cfg.num_cores, cfg.reference_capacity, cfg.seed,
+        streamRefs(cfg), 1);
+    const double refs = refsPerRun(cfg);
+    AllocScope allocs(state, refs);
+    for (auto _ : state) {
+        System sys(cfg, profiles, set);
+        dice::RunResult r = sys.run();
+        benchmark::DoNotOptimize(&r);
+    }
+    state.counters["refs_per_sec"] = benchmark::Counter(
+        refs * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
 #define DICE_SIM_BENCH(org)                                            \
     BENCHMARK_CAPTURE(BM_SimBuild, org, #org);                         \
-    BENCHMARK_CAPTURE(BM_SimLoop, org, #org)
+    BENCHMARK_CAPTURE(BM_SimLoop, org, #org);                          \
+    BENCHMARK_CAPTURE(BM_SimLoopReplay, org, #org)
 
 DICE_SIM_BENCH(none);
 DICE_SIM_BENCH(alloy);
@@ -269,6 +327,36 @@ runCheck()
         return 1;
     }
     std::printf("  OK\n");
+
+    // Trace-generation share of one live fig10-scale cell: the
+    // fraction of a cell's wall time the arena saves on every
+    // organization column after the first. Informational (timing is
+    // machine-dependent), not gated.
+    using Clock = std::chrono::steady_clock;
+    const SystemConfig cfg = orgConfig("dice", 30'000);
+    const auto profiles = workloadProfiles(kWorkload, cfg.num_cores);
+    const std::uint64_t stream_refs =
+        cfg.warmup_refs_per_core + cfg.refs_per_core + 1;
+
+    const auto t0 = Clock::now();
+    const auto set = dice::generateTraceSet(
+        profiles, cfg.num_cores, cfg.reference_capacity, cfg.seed,
+        stream_refs, 1);
+    const auto t1 = Clock::now();
+    {
+        System sys(cfg, profiles);
+        dice::RunResult r = sys.run();
+        benchmark::DoNotOptimize(&r);
+    }
+    const auto t2 = Clock::now();
+
+    const double gen_s = std::chrono::duration<double>(t1 - t0).count();
+    const double live_s = std::chrono::duration<double>(t2 - t1).count();
+    std::printf("  trace generation: %.3fs packed (%.1f MiB); live "
+                "cell %.3fs -> generation share %.1f%%\n",
+                gen_s,
+                static_cast<double>(set->bytes()) / (1024.0 * 1024.0),
+                live_s, 100.0 * gen_s / live_s);
     return 0;
 }
 

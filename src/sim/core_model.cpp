@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace dice
 {
 
@@ -14,21 +16,21 @@ TraceCore::prepareIssue(std::uint32_t gap_instr)
     frac_ %= config_.issue_width;
 
     // Retire loads whose data already returned.
-    while (!inflight_.empty() && inflight_.front().done <= cycle_)
-        inflight_.pop_front();
+    while (!inflightEmpty() && inflightFront().done <= cycle_)
+        popInflight();
 
     // ROB: an instruction cannot enter while a load older than
     // (instr_ - rob_size) is still blocking retirement.
-    while (!inflight_.empty() &&
-           inflight_.front().pos + config_.rob_size <= instr_) {
-        cycle_ = std::max(cycle_, inflight_.front().done);
-        inflight_.pop_front();
+    while (!inflightEmpty() &&
+           inflightFront().pos + config_.rob_size <= instr_) {
+        cycle_ = std::max(cycle_, inflightFront().done);
+        popInflight();
     }
 
     // MSHRs: bound outstanding misses.
-    while (inflight_.size() >= config_.mshrs) {
-        cycle_ = std::max(cycle_, inflight_.front().done);
-        inflight_.pop_front();
+    while (inflightCount() >= config_.mshrs) {
+        cycle_ = std::max(cycle_, inflightFront().done);
+        popInflight();
     }
 
     return cycle_;
@@ -37,16 +39,22 @@ TraceCore::prepareIssue(std::uint32_t gap_instr)
 void
 TraceCore::completeLoad(Cycle done)
 {
-    if (done > cycle_)
-        inflight_.push_back(InFlight{instr_, done});
+    if (done > cycle_) {
+        dice_assert(inflightCount() < ring_.size(),
+                    "in-flight ring overflow (%u loads, %u MSHRs)",
+                    inflightCount(), config_.mshrs);
+        ring_[tail_ & ring_mask_] = InFlight{instr_, done};
+        ++tail_;
+    }
 }
 
 void
 TraceCore::finish()
 {
-    for (const InFlight &l : inflight_)
-        cycle_ = std::max(cycle_, l.done);
-    inflight_.clear();
+    while (!inflightEmpty()) {
+        cycle_ = std::max(cycle_, inflightFront().done);
+        popInflight();
+    }
 }
 
 } // namespace dice

@@ -13,7 +13,9 @@
 #ifndef DICE_SIM_CORE_MODEL_HPP
 #define DICE_SIM_CORE_MODEL_HPP
 
-#include <deque>
+#include <algorithm>
+#include <bit>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -33,7 +35,17 @@ struct CoreConfig
 class TraceCore
 {
   public:
-    explicit TraceCore(const CoreConfig &config) : config_(config) {}
+    explicit TraceCore(const CoreConfig &config)
+        : config_(config),
+          // The MSHR limit bounds in-flight occupancy (prepareIssue
+          // drains below it before every issue), so a fixed ring
+          // sized once at construction replaces the deque's steady
+          // block churn with zero steady-state allocation.
+          ring_(std::bit_ceil(
+              std::max<std::size_t>(config.mshrs, 1))),
+          ring_mask_(static_cast<std::uint32_t>(ring_.size() - 1))
+    {
+    }
 
     /**
      * Account @p gap_instr non-memory instructions and compute the
@@ -65,11 +77,27 @@ class TraceCore
         Cycle done;         ///< Cycle its data returns.
     };
 
+    std::uint32_t inflightCount() const { return tail_ - head_; }
+    bool inflightEmpty() const { return head_ == tail_; }
+    InFlight &inflightFront() { return ring_[head_ & ring_mask_]; }
+    const InFlight &
+    inflightFront() const
+    {
+        return ring_[head_ & ring_mask_];
+    }
+    void popInflight() { ++head_; }
+
     CoreConfig config_;
     Cycle cycle_ = 0;
     std::uint64_t instr_ = 0;
     std::uint32_t frac_ = 0; ///< Sub-width instruction remainder.
-    std::deque<InFlight> inflight_;
+
+    /** FIFO of outstanding loads in a power-of-two ring; occupancy
+     *  never exceeds mshrs, so head_/tail_ wraparound is harmless. */
+    std::vector<InFlight> ring_;
+    std::uint32_t ring_mask_;
+    std::uint32_t head_ = 0;
+    std::uint32_t tail_ = 0;
 };
 
 } // namespace dice

@@ -6,41 +6,61 @@
 #include "common/rng.hpp"
 #include "core/alloy.hpp"
 #include "core/scc.hpp"
+#include "workloads/region_plan.hpp"
 
 namespace dice
 {
 
 System::System(const SystemConfig &config,
-               std::vector<WorkloadProfile> core_profiles)
+               std::vector<WorkloadProfile> core_profiles,
+               std::shared_ptr<const TraceSet> replay)
     : cfg_(config), profiles_(std::move(core_profiles)),
       mem_(config.mem_timing)
 {
     dice_assert(profiles_.size() == cfg_.num_cores,
                 "expected %u per-core profiles, got %zu", cfg_.num_cores,
                 profiles_.size());
+    if (replay) {
+        dice_assert(replay->streams.size() == cfg_.num_cores,
+                    "replay set has %zu streams for %u cores",
+                    replay->streams.size(), cfg_.num_cores);
+        const std::uint64_t needed =
+            cfg_.warmup_refs_per_core + cfg_.refs_per_core + 1;
+        for (const PackedTrace &t : replay->streams) {
+            dice_assert(t.size() >= needed,
+                        "replay stream of %zu refs is shorter than the "
+                        "%llu the run consumes",
+                        t.size(),
+                        static_cast<unsigned long long>(needed));
+        }
+    }
 
     write_counts_.reserve(1 << 16);
     l3_ = std::make_unique<SramCache>(cfg_.l3);
 
-    // Allocate per-core regions scaled so footprint/capacity pressure
-    // matches the paper's Table 3 against a 1-GiB cache.
-    const double scale = static_cast<double>(cfg_.reference_capacity) /
-                         static_cast<double>(1_GiB);
+    // Per-core regions scaled so footprint/capacity pressure matches
+    // the paper's Table 3 against a 1-GiB cache. planCoreRegions is
+    // shared with the TraceArena so replayed streams see the same
+    // layout the live generator would.
+    const std::vector<CoreRegion> regions = planCoreRegions(
+        cfg_.num_cores, cfg_.reference_capacity, profiles_);
     cores_.reserve(cfg_.num_cores);
     for (std::uint32_t cid = 0; cid < cfg_.num_cores; ++cid) {
-        const WorkloadProfile &prof = profiles_[cid];
-        const double bytes = prof.footprint_gb * scale *
-                             static_cast<double>(1_GiB) /
-                             static_cast<double>(cfg_.num_cores);
-        const auto lines = std::max<std::uint64_t>(
-            512, static_cast<std::uint64_t>(bytes) / kLineSize);
-        const LineAddr start = space_.allocate(lines);
+        const LineAddr start = regions[cid].start;
+        const std::uint64_t lines = regions[cid].lines;
         datagen_.addRegion(start, start + lines, profiles_[cid]);
 
-        CoreState state{
-            TraceCore(cfg_.core),
-            TraceGenerator(prof, start, lines, mix64(cfg_.seed, cid)),
-            nullptr, nullptr, 0, MemRef{}};
+        std::unique_ptr<TraceSource> source;
+        if (replay) {
+            source = std::make_unique<ReplayTraceSource>(
+                TraceSet::stream(replay, cid));
+        } else {
+            source = std::make_unique<LiveTraceSource>(
+                profiles_[cid], start, lines, mix64(cfg_.seed, cid));
+        }
+
+        CoreState state{TraceCore(cfg_.core), std::move(source),
+                        nullptr, nullptr, 0, MemRef{}};
         if (cfg_.use_l1_l2) {
             SramCacheConfig l1 = cfg_.l1;
             l1.name = "l1." + std::to_string(cid);
@@ -192,9 +212,7 @@ System::step(std::uint32_t cid)
             if (!l3_->access(line, AccessType::Write, ver)) {
                 // Write-allocate; the store itself does not block the
                 // core (post-commit buffer), so only traffic is charged.
-                if (l4_ || true) {
-                    fetchIntoL3(line, l3_arrival, ref.pc, true, ver);
-                }
+                fetchIntoL3(line, l3_arrival, ref.pc, true, ver);
             }
             if (cfg_.use_l1_l2) {
                 const auto v1 = cs.l1->install(line, true, ver);
@@ -245,7 +263,7 @@ System::step(std::uint32_t cid)
         valid_accum_ += static_cast<double>(l4_->validLines());
         ++valid_samples_;
     }
-    cs.pending = cs.gen.next();
+    cs.pending = cs.trace->next();
 }
 
 void
@@ -299,7 +317,7 @@ RunResult
 System::run()
 {
     for (CoreState &cs : cores_)
-        cs.pending = cs.gen.next();
+        cs.pending = cs.trace->next();
 
     const std::uint64_t total_refs =
         cfg_.refs_per_core * cfg_.num_cores;

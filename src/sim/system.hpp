@@ -24,8 +24,9 @@
 #include "sim/core_model.hpp"
 #include "sim/energy.hpp"
 #include "sim/memory.hpp"
-#include "workloads/address_space.hpp"
 #include "workloads/datagen.hpp"
+#include "workloads/trace_arena.hpp"
+#include "workloads/trace_source.hpp"
 #include "workloads/tracegen.hpp"
 
 namespace dice
@@ -133,9 +134,18 @@ class System
      * @param config System parameters.
      * @param core_profiles One workload profile per core (rate mode
      *        replicates a single profile).
+     * @param replay Pre-generated per-core streams to replay (e.g.
+     *        from the TraceArena); null generates live. A replayed
+     *        run is bit-identical to a live one — the arena records
+     *        exactly what the same (profile, region, seed) generator
+     *        would emit — but a sweep pays generation only once per
+     *        stream instead of once per organization column. Each
+     *        stream must hold at least warmup + measured + 1
+     *        references (the simulator primes one ahead).
      */
     System(const SystemConfig &config,
-           std::vector<WorkloadProfile> core_profiles);
+           std::vector<WorkloadProfile> core_profiles,
+           std::shared_ptr<const TraceSet> replay = nullptr);
 
     /** Simulate refs_per_core references on every core. */
     RunResult run();
@@ -153,7 +163,7 @@ class System
     struct CoreState
     {
         TraceCore core;
-        TraceGenerator gen;
+        std::unique_ptr<TraceSource> trace;
         std::unique_ptr<SramCache> l1;
         std::unique_ptr<SramCache> l2;
         std::uint64_t refs_done = 0;
@@ -190,7 +200,6 @@ class System
 
     SystemConfig cfg_;
     std::vector<WorkloadProfile> profiles_;
-    AddressSpace space_;
     DataGenerator datagen_;
     std::vector<CoreState> cores_;
     std::unique_ptr<SramCache> l3_;

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic per-core region planning.
+ *
+ * The per-core region layout (scaled footprint, bump-allocated bases)
+ * fully determines each core's reference stream for a given seed, so
+ * it must be computed identically by System (live generation, data
+ * region registration) and by the TraceArena (pre-generation). This
+ * helper is that single source of truth: both call planCoreRegions()
+ * so the two paths cannot drift.
+ */
+
+#ifndef DICE_WORKLOADS_REGION_PLAN_HPP
+#define DICE_WORKLOADS_REGION_PLAN_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workloads/address_space.hpp"
+#include "workloads/profile.hpp"
+
+namespace dice
+{
+
+/** One core's private slice of the simulated physical line space. */
+struct CoreRegion
+{
+    LineAddr start = 0;
+    std::uint64_t lines = 0;
+};
+
+/**
+ * Allocate one region per core, scaled so footprint/capacity pressure
+ * matches the paper's Table 3 against a 1-GiB cache (profiles express
+ * footprints relative to 1 GiB; @p reference_capacity rescales them).
+ */
+inline std::vector<CoreRegion>
+planCoreRegions(std::uint32_t num_cores,
+                std::uint64_t reference_capacity,
+                const std::vector<WorkloadProfile> &profiles)
+{
+    const double scale = static_cast<double>(reference_capacity) /
+                         static_cast<double>(1_GiB);
+    AddressSpace space;
+    std::vector<CoreRegion> regions;
+    regions.reserve(num_cores);
+    for (std::uint32_t cid = 0; cid < num_cores; ++cid) {
+        const double bytes = profiles[cid].footprint_gb * scale *
+                             static_cast<double>(1_GiB) /
+                             static_cast<double>(num_cores);
+        const auto lines = std::max<std::uint64_t>(
+            512, static_cast<std::uint64_t>(bytes) / kLineSize);
+        regions.push_back(CoreRegion{space.allocate(lines), lines});
+    }
+    return regions;
+}
+
+} // namespace dice
+
+#endif // DICE_WORKLOADS_REGION_PLAN_HPP

@@ -78,10 +78,25 @@ goldenBase()
     return cfg;
 }
 
+/**
+ * Run one cell and digest everything observable. @p replay runs it
+ * from an arena-style pre-generated packed stream instead of the live
+ * generator; both modes must land on the same recorded digest — the
+ * bit-identity contract that lets bench_cache result files be reused
+ * across the arena change without a version bump.
+ */
 std::uint64_t
-digestOf(const SystemConfig &cfg, const std::string &workload)
+digestOf(const SystemConfig &cfg, const std::string &workload,
+         bool replay = false)
 {
-    System sys(cfg, bench::workloadProfiles(workload, cfg.num_cores));
+    auto profiles = bench::workloadProfiles(workload, cfg.num_cores);
+    std::shared_ptr<const TraceSet> set;
+    if (replay) {
+        set = generateTraceSet(
+            profiles, cfg.num_cores, cfg.reference_capacity, cfg.seed,
+            cfg.warmup_refs_per_core + cfg.refs_per_core + 1, 2);
+    }
+    System sys(cfg, std::move(profiles), std::move(set));
     const RunResult r = sys.run();
 
     Digest d;
@@ -177,6 +192,54 @@ TEST(Golden, MixDice)
     cfg.l4_kind = L4Kind::Compressed;
     cfg.l4_comp.policy = CompressionPolicy::Dice;
     EXPECT_EQ(digestOf(cfg, "mix1"), 17532371284219348020ull);
+}
+
+// Arena replay must reproduce the live digests bit-for-bit, for every
+// L4 organization the harness can instantiate.
+
+TEST(GoldenReplay, NoneMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::None;
+    EXPECT_EQ(digestOf(cfg, "mcf", true), 542617003086962716ull);
+}
+
+TEST(GoldenReplay, AlloySoplex)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Alloy;
+    EXPECT_EQ(digestOf(cfg, "soplex", true), 1711844114032920024ull);
+}
+
+TEST(GoldenReplay, DiceMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    EXPECT_EQ(digestOf(cfg, "mcf", true), 2815939932659681256ull);
+}
+
+TEST(GoldenReplay, TsiOmnetpp)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::TsiOnly;
+    EXPECT_EQ(digestOf(cfg, "omnetpp", true), 10533505985897564659ull);
+}
+
+TEST(GoldenReplay, SccBcTwi)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Scc;
+    EXPECT_EQ(digestOf(cfg, "bc_twi", true), 3569515757373235560ull);
+}
+
+TEST(GoldenReplay, MixDice)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4_kind = L4Kind::Compressed;
+    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    EXPECT_EQ(digestOf(cfg, "mix1", true), 17532371284219348020ull);
 }
 
 } // namespace
