@@ -10,10 +10,14 @@
 #include <sstream>
 #include <unordered_set>
 
+#include <chrono>
+
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry.hpp"
+#include "common/trace_events.hpp"
 
 #ifdef _WIN32
 #include <process.h>
@@ -160,6 +164,87 @@ resultCache()
 {
     static ResultCache cache;
     return cache;
+}
+
+/** References actually simulated this process (fresh cells only;
+ *  cache-loaded cells do no simulation work). Feeds the heartbeat's
+ *  refs/sec figure. */
+std::atomic<std::uint64_t> g_simulated_refs{0};
+
+/** Rendered trace-event args for a cell span. */
+std::string
+cellArgsJson(const std::string &workload, const std::string &cache_key)
+{
+    std::string args = "{\"workload\": \"";
+    appendJsonEscaped(args, workload);
+    args += "\", \"org\": \"";
+    appendJsonEscaped(args, cache_key);
+    args += "\"}";
+    return args;
+}
+
+/**
+ * Export one freshly-simulated cell's stat registry when
+ * DICE_STATS_JSON / DICE_STATS_CSV name output directories. Called
+ * with the System still alive (the registry reads live counters).
+ */
+void
+exportCellStats(const System &sys, const std::string &workload,
+                const std::string &cache_key)
+{
+    const std::string json_dir = statsJsonDir();
+    const std::string csv_dir = statsCsvDir();
+    if (json_dir.empty() && csv_dir.empty())
+        return;
+    const std::string stem =
+        sanitizeFileStem(workload + "_" + cache_key);
+    std::error_code ec;
+    if (!json_dir.empty()) {
+        std::filesystem::create_directories(json_dir, ec);
+        const auto path =
+            std::filesystem::path(json_dir) / (stem + ".json");
+        if (!sys.statRegistry().writeJson(path.string()))
+            dice_warn("cannot write stats JSON %s", path.c_str());
+    }
+    if (!csv_dir.empty()) {
+        std::filesystem::create_directories(csv_dir, ec);
+        const auto path =
+            std::filesystem::path(csv_dir) / (stem + ".csv");
+        if (!sys.statRegistry().writeCsv(path.string()))
+            dice_warn("cannot write stats CSV %s", path.c_str());
+    }
+}
+
+/**
+ * DICE_PROGRESS=1 heartbeat: one line per completed cell with the
+ * sweep position, cumulative simulation throughput, and the arena's
+ * residency. Serialized by its own mutex so parallel workers never
+ * interleave; on a tty the line redraws in place.
+ */
+void
+printProgress(std::size_t done, std::size_t total, double elapsed_s)
+{
+    const TraceArena::Stats arena = TraceArena::instance().stats();
+    const double refs =
+        static_cast<double>(g_simulated_refs.load(std::memory_order_relaxed));
+    const double mrefs_per_s =
+        elapsed_s > 0.0 ? refs / elapsed_s / 1e6 : 0.0;
+#ifdef _WIN32
+    const bool tty = false;
+#else
+    const bool tty = isatty(fileno(stderr)) != 0;
+#endif
+    static std::mutex mu;
+    std::lock_guard lock(mu);
+    std::fprintf(stderr,
+                 "%s[progress] %zu/%zu cells | %.2f Mref/s | arena "
+                 "%.1f MiB, %llu entries%s",
+                 tty ? "\r" : "", done, total, mrefs_per_s,
+                 static_cast<double>(arena.resident_bytes) /
+                     (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(arena.entries),
+                 tty ? (done == total ? "\n" : "") : "\n");
+    std::fflush(stderr);
 }
 
 } // namespace
@@ -339,12 +424,19 @@ runWorkload(const std::string &workload, const SystemConfig &config,
         loaded = detail::loadResult(file, computed);
     }
     if (!loaded) {
-        std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
-                     cache_key.c_str());
+        // The per-cell announcement honors DICE_LOG_LEVEL=quiet and
+        // yields to the heartbeat line when DICE_PROGRESS is set.
+        if (logLevel() >= LogLevel::Warn && !progressEnabled()) {
+            std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
+                         cache_key.c_str());
+        }
+        TraceSpan cell_span("cell", workload + "/" + cache_key,
+                            cellArgsJson(workload, cache_key));
         std::vector<WorkloadProfile> profiles =
             workloadProfiles(workload, config.num_cores);
         std::shared_ptr<const TraceSet> replay;
         if (arenaEnabled()) {
+            TraceSpan gen_span("generate", workload);
             // +1: the simulator primes one reference ahead of the
             // warmup + measurement budget.
             replay = TraceArena::instance().acquire(
@@ -354,7 +446,15 @@ runWorkload(const std::string &workload, const SystemConfig &config,
                 profiles, benchJobs());
         }
         System sys(config, std::move(profiles), std::move(replay));
-        computed = sys.run();
+        {
+            TraceSpan sim_span("simulate", workload + "/" + cache_key);
+            computed = sys.run();
+        }
+        exportCellStats(sys, workload, cache_key);
+        g_simulated_refs.fetch_add(
+            (config.warmup_refs_per_core + config.refs_per_core) *
+                config.num_cores,
+            std::memory_order_relaxed);
     }
 
     std::pair<std::map<std::string, RunResult>::iterator, bool> pub;
@@ -380,9 +480,22 @@ runCells(const std::vector<SimCell> &cells)
         if (seen.insert(c.workload + "|" + c.cache_key).second)
             work.push_back(&c);
     }
-    parallelFor(work.size(), benchJobs(), [&work](std::size_t i) {
+    const bool progress = progressEnabled();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> done{0};
+    parallelFor(work.size(), benchJobs(),
+                [&work, &done, progress, t0](std::size_t i) {
         runWorkload(work[i]->workload, work[i]->config,
                     work[i]->cache_key);
+        if (progress) {
+            const std::size_t d =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            printProgress(d, work.size(), elapsed);
+        }
     });
 }
 
@@ -397,6 +510,10 @@ runSweep(const std::vector<std::string> &workloads,
             cells.push_back(SimCell{w, org.config, org.cache_key});
     }
     runCells(cells);
+    // Make the Chrome trace durable after every sweep, not only at
+    // process exit: each flush rewrites the complete document.
+    if (TraceLog::instance().enabled())
+        TraceLog::instance().flush();
 }
 
 double

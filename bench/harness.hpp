@@ -22,6 +22,14 @@
  * once per sweep and replayed bit-identically by every organization
  * column (DICE_TRACE_ARENA=0 disables; DICE_TRACE_ARENA_BYTES bounds
  * resident stream memory).
+ *
+ * Observability (all off by default; see README "Telemetry"):
+ *  - DICE_STATS_JSON / DICE_STATS_CSV: per-cell stat-registry export
+ *    into the named directory, one document per fresh cell.
+ *  - DICE_TRACE_OUT: Chrome trace-event JSON of per-worker cell
+ *    generate/simulate spans (view in Perfetto).
+ *  - DICE_PROGRESS=1: heartbeat line with cells done/total, refs/sec,
+ *    and trace-arena residency.
  */
 
 #ifndef DICE_BENCH_HARNESS_HPP

@@ -37,6 +37,20 @@ ceilLog2(std::uint64_t v)
     return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
 }
 
+/** Number of set bits in @p v. */
+constexpr std::uint32_t
+popcount64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::uint32_t>(__builtin_popcountll(v));
+#else
+    std::uint32_t n = 0;
+    for (; v != 0; v &= v - 1)
+        ++n;
+    return n;
+#endif
+}
+
 /**
  * Extract bits [hi:lo] (inclusive, hi >= lo) of @p v, right-justified.
  */

@@ -1,15 +1,31 @@
 #include "log.hpp"
 
+#include <cstring>
+#include <mutex>
+
 namespace dice
 {
 
 namespace
 {
 
+/**
+ * Serializes every report line. Parallel bench workers warn
+ * concurrently (e.g. decision-ring burst dumps); without the lock
+ * their lines interleave mid-text on shared stderr.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 void
 vreport(const char *tag, const char *file, int line, const char *fmt,
         std::va_list ap)
 {
+    std::lock_guard lock(logMutex());
     std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
@@ -17,6 +33,19 @@ vreport(const char *tag, const char *file, int line, const char *fmt,
 }
 
 } // namespace
+
+LogLevel
+logLevel()
+{
+    const char *env = std::getenv("DICE_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Debug;
+    return LogLevel::Warn;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -41,9 +70,31 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::va_list ap;
     va_start(ap, fmt);
     vreport("warn", file, line, fmt, ap);
+    va_end(ap);
+}
+
+void
+debugImpl(const char *file, int line, const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", file, line, fmt, ap);
+    va_end(ap);
+}
+
+void
+assertFailImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", file, line, fmt, ap);
     va_end(ap);
 }
 

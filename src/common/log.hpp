@@ -7,6 +7,13 @@
  *  - fatal():  the user asked for something unsatisfiable (bad
  *              configuration); exits with status 1.
  *  - warn():   something is suspicious but simulation can continue.
+ *  - debug():  diagnostic chatter (decision-ring dumps, telemetry).
+ *
+ * All reporting is serialized behind one mutex, so parallel bench
+ * workers never interleave mid-line, and filtered by DICE_LOG_LEVEL
+ * (quiet | warn | debug, default warn): quiet suppresses warn() and
+ * debug(), warn additionally shows warn(), debug shows everything.
+ * panic() and fatal() terminate the process and always print.
  */
 
 #ifndef DICE_COMMON_LOG_HPP
@@ -19,6 +26,21 @@
 namespace dice
 {
 
+/** Verbosity threshold parsed from DICE_LOG_LEVEL. */
+enum class LogLevel
+{
+    Quiet = 0, ///< Only panic/fatal (they always print).
+    Warn = 1,  ///< Default: warnings and above.
+    Debug = 2, ///< Everything, including dice_debug chatter.
+};
+
+/**
+ * Current threshold: "quiet"/"0", "warn"/"1" (default), "debug"/"2".
+ * Re-read from the environment on every call — none of the log paths
+ * are hot, and tests flip the level mid-process.
+ */
+LogLevel logLevel();
+
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
@@ -26,6 +48,15 @@ namespace dice
     __attribute__((format(printf, 3, 4)));
 
 void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void debugImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** The "assertion failed" preamble: prints at every log level (the
+ *  process is about to abort; suppressing the condition would hide
+ *  the only clue). */
+void assertFailImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
 } // namespace dice
@@ -39,12 +70,15 @@ void warnImpl(const char *file, int line, const char *fmt, ...)
 /** Report a suspicious-but-survivable condition. */
 #define dice_warn(...) ::dice::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
 
+/** Diagnostic chatter, shown only at DICE_LOG_LEVEL=debug. */
+#define dice_debug(...) ::dice::debugImpl(__FILE__, __LINE__, __VA_ARGS__)
+
 /** panic() unless @p cond holds; remaining args are a printf message. */
 #define dice_assert(cond, ...)                                              \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            ::dice::warnImpl(__FILE__, __LINE__,                            \
-                             "assertion '%s' failed", #cond);               \
+            ::dice::assertFailImpl(__FILE__, __LINE__,                      \
+                                   "assertion '%s' failed", #cond);         \
             dice_panic(__VA_ARGS__);                                        \
         }                                                                   \
     } while (0)

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-capacity, allocation-free ring buffer for per-access decision
+ * traces.
+ *
+ * Telemetry consumers (CIP read predictions, DICE install decisions)
+ * record one small POD record per event into a DecisionRing sized at
+ * compile time; the ring overwrites its oldest entry once full, so a
+ * long run keeps only the most recent window — exactly what is needed
+ * to dump "what just happened" when a misprediction burst is detected.
+ * Storage is an inline std::array, so recording never allocates and
+ * the hot-path cost is one store plus two index updates.
+ */
+
+#ifndef DICE_COMMON_RING_TRACE_HPP
+#define DICE_COMMON_RING_TRACE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dice
+{
+
+/** Ring of the last N records of type T (oldest overwritten first). */
+template <typename T, std::size_t N>
+class DecisionRing
+{
+    static_assert(N > 0, "DecisionRing needs at least one slot");
+
+  public:
+    /** Append @p v, overwriting the oldest record when full. */
+    void
+    push(const T &v)
+    {
+        buf_[head_] = v;
+        head_ = head_ + 1 == N ? 0 : head_ + 1;
+        if (count_ < N)
+            ++count_;
+        ++pushes_;
+    }
+
+    /** Records currently held (<= capacity()). */
+    std::size_t size() const { return count_; }
+
+    static constexpr std::size_t capacity() { return N; }
+
+    /** Total records ever pushed (wrapped records included). */
+    std::uint64_t pushes() const { return pushes_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Record @p i in age order: 0 is the oldest still held. */
+    const T &
+    at(std::size_t i) const
+    {
+        const std::size_t oldest = count_ < N ? 0 : head_;
+        return buf_[(oldest + i) % N];
+    }
+
+    /** Visit every held record oldest -> newest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            fn(at(i));
+    }
+
+    void
+    clear()
+    {
+        head_ = count_ = 0;
+        pushes_ = 0;
+    }
+
+  private:
+    std::array<T, N> buf_{};
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t pushes_ = 0;
+};
+
+} // namespace dice
+
+#endif // DICE_COMMON_RING_TRACE_HPP

@@ -31,6 +31,27 @@ StatGroup::get(const std::string &stat_name) const
     return std::numeric_limits<double>::quiet_NaN();
 }
 
+std::vector<std::pair<std::string, double>>
+StatGroup::collect() const
+{
+    std::vector<std::pair<std::string, double>> rows;
+    rows.reserve(entries_.size());
+    for (const auto &e : entries_)
+        rows.emplace_back(e.name, e.value());
+    return rows;
+}
+
+void
+StatGroup::checkFresh(const std::string &stat_name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == stat_name) {
+            dice_panic("duplicate stat '%s' in group '%s'",
+                       stat_name.c_str(), name_.c_str());
+        }
+    }
+}
+
 double
 geomean(const std::vector<double> &values)
 {

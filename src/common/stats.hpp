@@ -14,7 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/log.hpp"
 
 namespace dice
 {
@@ -63,6 +66,9 @@ class Histogram
                        std::uint64_t bucket_width = 1)
         : width_(bucket_width), buckets_(n_buckets + 1, 0)
     {
+        // sample() divides by the width; a zero width would fault on
+        // the first sample, far from the misconfiguration.
+        dice_assert(bucket_width > 0, "Histogram bucket_width must be > 0");
     }
 
     /** Record one sample. */
@@ -125,22 +131,28 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** Register a raw counter under @p stat_name. */
+    /** Register a raw counter under @p stat_name (panics on a name
+     *  already registered in this group). */
     void
     addCounter(const std::string &stat_name, const Counter &c)
     {
+        checkFresh(stat_name);
         entries_.push_back(
             {stat_name, [&c]() { return static_cast<double>(c.value()); }});
     }
 
-    /** Register a derived value (ratio, percentage, ...). */
+    /** Register a derived value (ratio, percentage, ...); panics on a
+     *  name already registered in this group. */
     void
     addFormula(const std::string &stat_name, std::function<double()> f)
     {
+        checkFresh(stat_name);
         entries_.push_back({stat_name, std::move(f)});
     }
 
     const std::string &name() const { return name_; }
+
+    std::size_t size() const { return entries_.size(); }
 
     /** Render "group.stat value" lines, one per entry. */
     std::string dump() const;
@@ -148,12 +160,19 @@ class StatGroup
     /** Look up a stat by name; returns NaN when absent. */
     double get(const std::string &stat_name) const;
 
+    /** Materialize every entry as (name, current value) rows. */
+    std::vector<std::pair<std::string, double>> collect() const;
+
   private:
     struct Entry
     {
         std::string name;
         std::function<double()> value;
     };
+
+    /** Panic when @p stat_name is already registered: a silent
+     *  collision would make get() return whichever came first. */
+    void checkFresh(const std::string &stat_name) const;
 
     std::string name_;
     std::vector<Entry> entries_;

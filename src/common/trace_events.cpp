@@ -1,0 +1,183 @@
+#include "trace_events.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/telemetry.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace dice
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+std::uint32_t
+traceTid()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+TraceLog &
+TraceLog::instance()
+{
+    static TraceLog log;
+    return log;
+}
+
+TraceLog::TraceLog() : epoch_ns_(steadyNowNs())
+{
+    if (const char *env = std::getenv("DICE_TRACE_OUT")) {
+        if (env[0] != '\0') {
+            path_ = env;
+            enabled_ = true;
+        }
+    }
+}
+
+TraceLog::~TraceLog()
+{
+    if (enabled_)
+        flush();
+}
+
+std::uint64_t
+TraceLog::nowUs() const
+{
+    return (steadyNowNs() - epoch_ns_) / 1000;
+}
+
+void
+TraceLog::complete(const char *cat, std::string name, std::uint64_t ts_us,
+                   std::uint64_t dur_us, std::string args_json)
+{
+    if (!enabled_)
+        return;
+    Event ev{std::move(name), cat, ts_us, dur_us, traceTid(),
+             std::move(args_json)};
+    std::lock_guard lock(mu_);
+    events_.push_back(std::move(ev));
+}
+
+std::size_t
+TraceLog::pendingEvents() const
+{
+    std::lock_guard lock(mu_);
+    return events_.size();
+}
+
+bool
+TraceLog::flush()
+{
+    std::vector<Event> events;
+    std::string path;
+    {
+        std::lock_guard lock(mu_);
+        if (!enabled_)
+            return false;
+        events = events_; // keep: each flush rewrites the full document
+        path = path_;
+    }
+
+    // Every flush renders every event recorded so far, so the output
+    // file is a complete, valid document at any point — a sweep can
+    // flush after each batch and a crash loses only the tail.
+    std::string out;
+    out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    const long pid =
+#ifdef _WIN32
+        static_cast<long>(_getpid());
+#else
+        static_cast<long>(getpid());
+#endif
+    char buf[160];
+    bool first = true;
+    for (const Event &ev : events) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += " {\"name\": \"";
+        appendJsonEscaped(out, ev.name);
+        out += "\", \"cat\": \"";
+        appendJsonEscaped(out, ev.cat);
+        std::snprintf(buf, sizeof buf,
+                      "\", \"ph\": \"X\", \"ts\": %llu, \"dur\": %llu, "
+                      "\"pid\": %ld, \"tid\": %u",
+                      static_cast<unsigned long long>(ev.ts_us),
+                      static_cast<unsigned long long>(ev.dur_us), pid,
+                      ev.tid);
+        out += buf;
+        if (!ev.args_json.empty()) {
+            out += ", \"args\": ";
+            out += ev.args_json;
+        }
+        out += '}';
+    }
+    out += "\n]}\n";
+
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+        std::fprintf(stderr,
+                     "trace_events: cannot write DICE_TRACE_OUT=%s\n",
+                     path.c_str());
+        return false;
+    }
+    file << out;
+    return static_cast<bool>(file);
+}
+
+void
+TraceLog::setOutputForTest(const std::string &path)
+{
+    std::lock_guard lock(mu_);
+    path_ = path;
+    enabled_ = !path.empty();
+    events_.clear();
+}
+
+TraceSpan::TraceSpan(const char *cat, std::string name,
+                     std::string args_json)
+{
+    TraceLog &log = TraceLog::instance();
+    if (!log.enabled())
+        return;
+    active_ = true;
+    cat_ = cat;
+    name_ = std::move(name);
+    args_json_ = std::move(args_json);
+    start_us_ = log.nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    TraceLog &log = TraceLog::instance();
+    const std::uint64_t end_us = log.nowUs();
+    log.complete(cat_, std::move(name_), start_us_,
+                 end_us > start_us_ ? end_us - start_us_ : 0,
+                 std::move(args_json_));
+}
+
+} // namespace dice

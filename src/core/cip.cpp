@@ -1,12 +1,17 @@
 #include "cip.hpp"
 
+#include <cstdio>
+
+#include "common/bitops.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace dice
 {
 
-Cip::Cip(std::uint32_t ltt_entries) : ltt_(ltt_entries, 0)
+Cip::Cip(std::uint32_t ltt_entries)
+    : ltt_(ltt_entries, 0), trace_enabled_(decisionTraceEnabled())
 {
     dice_assert(ltt_entries > 0, "CIP with empty LTT");
 }
@@ -32,6 +37,57 @@ Cip::updateRead(LineAddr line, IndexScheme actual)
     if (predicted != actual)
         ++read_mispredicts_;
     ltt_[indexOf(line)] = actual == IndexScheme::BAI ? 1 : 0;
+    if (trace_enabled_)
+        traceRead(line, predicted, actual);
+}
+
+void
+Cip::traceRead(LineAddr line, IndexScheme predicted, IndexScheme actual)
+{
+    read_ring_.push(CipReadTrace{line, predicted, actual});
+    burst_window_ = (burst_window_ << 1) |
+                    (predicted != actual ? 1u : 0u);
+
+    // Dump when mispredictions dominate the last kBurstWindowBits
+    // scored reads, at most once per full window (otherwise a long
+    // pathological phase would dump on every access).
+    if (read_predictions_ - last_dump_at_ < kBurstWindowBits)
+        return;
+    if (popcount64(burst_window_) < kBurstThreshold)
+        return;
+    last_dump_at_ = read_predictions_;
+    ++burst_dumps_;
+    dice_warn("cip: misprediction burst (%u of last %u reads); ring:\n%s",
+              popcount64(burst_window_), kBurstWindowBits,
+              dumpReadRing().c_str());
+}
+
+void
+Cip::enableDecisionTrace(bool enabled)
+{
+    trace_enabled_ = enabled;
+    if (!enabled) {
+        read_ring_.clear();
+        burst_window_ = 0;
+        last_dump_at_ = 0;
+    }
+}
+
+std::string
+Cip::dumpReadRing() const
+{
+    std::string out;
+    char buf[96];
+    read_ring_.forEach([&out, &buf](const CipReadTrace &t) {
+        std::snprintf(buf, sizeof buf,
+                      "  line %#llx predicted %s actual %s%s\n",
+                      static_cast<unsigned long long>(t.line),
+                      indexSchemeName(t.predicted),
+                      indexSchemeName(t.actual),
+                      t.predicted != t.actual ? "  <-- miss" : "");
+        out += buf;
+    });
+    return out;
 }
 
 void

@@ -16,8 +16,10 @@
 #ifndef DICE_CORE_CIP_HPP
 #define DICE_CORE_CIP_HPP
 
+#include <string>
 #include <vector>
 
+#include "common/ring_trace.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/indexing.hpp"
@@ -25,11 +27,32 @@
 namespace dice
 {
 
+/** One scored read prediction (decision-trace ring record). */
+struct CipReadTrace
+{
+    LineAddr line = 0;
+    IndexScheme predicted = IndexScheme::TSI;
+    IndexScheme actual = IndexScheme::TSI;
+};
+
 /** History-based read predictor + size-based write predictor. */
 class Cip
 {
   public:
-    /** @param ltt_entries Number of 1-bit LTT entries (default 2048). */
+    /** Scored read predictions the decision ring retains. */
+    static constexpr std::size_t kTraceDepth = 256;
+    /** Sliding outcome window examined for misprediction bursts. */
+    static constexpr std::uint32_t kBurstWindowBits = 64;
+    /** Mispredictions within the window that trigger a ring dump. */
+    static constexpr std::uint32_t kBurstThreshold = 48;
+
+    /**
+     * @param ltt_entries Number of 1-bit LTT entries (default 2048).
+     *
+     * The decision-trace ring starts in the state DICE_DECISION_TRACE
+     * requests; enableDecisionTrace() overrides (tests, white-box
+     * debugging).
+     */
     explicit Cip(std::uint32_t ltt_entries = 2048);
 
     /** Predicted scheme for a read of @p line. */
@@ -68,14 +91,44 @@ class Cip
 
     StatGroup stats() const;
 
+    /** Turn per-access decision tracing on/off (ring cleared on off). */
+    void enableDecisionTrace(bool enabled);
+
+    bool decisionTraceOn() const { return trace_enabled_; }
+
+    /** The scored-read ring, oldest record first (white-box access). */
+    const DecisionRing<CipReadTrace, kTraceDepth> &readRing() const
+    {
+        return read_ring_;
+    }
+
+    /** Ring dumps emitted after misprediction bursts. */
+    std::uint64_t burstDumps() const { return burst_dumps_; }
+
+    /** Render the ring as "line predicted actual" text lines. */
+    std::string dumpReadRing() const;
+
   private:
     std::uint32_t indexOf(LineAddr line) const;
+
+    /** Ring bookkeeping + burst detection for one scored read. */
+    void traceRead(LineAddr line, IndexScheme predicted,
+                   IndexScheme actual);
 
     std::vector<std::uint8_t> ltt_; // 1 bit per entry: 1 = BAI
     std::uint64_t read_predictions_ = 0;
     std::uint64_t read_mispredicts_ = 0;
     std::uint64_t write_predictions_ = 0;
     std::uint64_t write_mispredicts_ = 0;
+
+    /** Decision trace (off by default: one branch per scored read). */
+    bool trace_enabled_ = false;
+    DecisionRing<CipReadTrace, kTraceDepth> read_ring_;
+    /** Bit i set = i-th most recent scored read mispredicted. */
+    std::uint64_t burst_window_ = 0;
+    /** read_predictions_ value at the last dump (hysteresis). */
+    std::uint64_t last_dump_at_ = 0;
+    std::uint64_t burst_dumps_ = 0;
 };
 
 } // namespace dice

@@ -5,6 +5,7 @@
 #include "common/bitops.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace dice
 {
@@ -32,7 +33,8 @@ CompressedDramCache::CompressedDramCache(
     : DramCache(config.base, std::move(name)), cfg_(config),
       indexer_(floorLog2(config.base.capacity / kLineSize)),
       mapper_(config.base.timing), source_(source),
-      cip_(config.cip_entries), sets_(config.base.capacity / kLineSize)
+      cip_(config.cip_entries), sets_(config.base.capacity / kLineSize),
+      trace_enabled_(decisionTraceEnabled())
 {
     dice_assert(isPowerOfTwo(config.base.capacity / kLineSize),
                 "compressed cache needs a power-of-two set count");
@@ -385,7 +387,21 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
 
     valid_lines_ += sets_[target].lineCount() + sets_[alt].lineCount();
     valid_lines_ -= lines_before;
+
+    if (trace_enabled_) {
+        install_ring_.push(InstallTrace{line, size, scheme, invariant,
+                                        inserted});
+    }
     return res;
+}
+
+void
+CompressedDramCache::enableDecisionTrace(bool enabled)
+{
+    trace_enabled_ = enabled;
+    cip_.enableDecisionTrace(enabled);
+    if (!enabled)
+        install_ring_.clear();
 }
 
 bool

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/flat_map.hpp"
+#include "common/ring_trace.hpp"
 #include "compress/hybrid.hpp"
 #include "core/cip.hpp"
 #include "core/data_source.hpp"
@@ -63,10 +64,22 @@ struct CompressedCacheConfig
     bool pair_compression = true;
 };
 
+/** One install decision (decision-trace ring record). */
+struct InstallTrace
+{
+    LineAddr line = 0;
+    std::uint32_t size_bytes = 0;      ///< Compressed single-line size.
+    IndexScheme scheme = IndexScheme::TSI;
+    bool invariant = false; ///< TSI == BAI for this line (no choice).
+    bool paired = false;    ///< Merged with its neighbor into a pair.
+};
+
 /** Compressed Alloy-style DRAM cache with dynamic indexing. */
 class CompressedDramCache : public DramCache
 {
   public:
+    /** Install decisions the decision-trace ring retains. */
+    static constexpr std::size_t kInstallTraceDepth = 256;
     CompressedDramCache(const CompressedCacheConfig &config,
                         const LineDataSource &source,
                         std::string name = "comp_l4");
@@ -110,6 +123,19 @@ class CompressedDramCache : public DramCache
     void resetStats() override;
 
     StatGroup stats() const override;
+
+    /** Turn the install decision-trace ring on/off (cleared on off). */
+    void enableDecisionTrace(bool enabled);
+
+    /** CIP trace control shares the same switch (tests). */
+    Cip &cipForTest() { return cip_; }
+
+    /** The install-decision ring, oldest record first. */
+    const DecisionRing<InstallTrace, kInstallTraceDepth> &
+    installRing() const
+    {
+        return install_ring_;
+    }
 
   private:
     /** Candidate sets a line may occupy under the current policy. */
@@ -180,6 +206,10 @@ class CompressedDramCache : public DramCache
     std::uint64_t pair_installs_ = 0;
     std::uint64_t second_probes_ = 0;
     std::uint64_t duplicate_scrubs_ = 0;
+
+    /** Install decision trace (off by default; DICE_DECISION_TRACE). */
+    bool trace_enabled_ = false;
+    DecisionRing<InstallTrace, kInstallTraceDepth> install_ring_;
 };
 
 } // namespace dice

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/trace_events.hpp"
 #include "core/alloy.hpp"
 #include "core/scc.hpp"
 #include "workloads/region_plan.hpp"
@@ -86,6 +87,52 @@ System::System(const SystemConfig &config,
         l4_ = std::make_unique<SccCache>(cfg_.l4_base, datagen_);
         break;
     }
+
+    stats_interval_refs_ = statsIntervalRefs();
+    registerStats();
+}
+
+void
+System::registerStats()
+{
+    registry_.add("system", [this] {
+        StatGroup g("system");
+        g.addFormula("refs", [this] { return double(refs_total_); });
+        g.addFormula("l3_miss_latency_avg", [this] {
+            return miss_latency_count_ > 0
+                       ? miss_latency_sum_ /
+                             static_cast<double>(miss_latency_count_)
+                       : 0.0;
+        });
+        g.addFormula("l3_misses_timed",
+                     [this] { return double(miss_latency_count_); });
+        return g;
+    });
+    registry_.add("l3", [this] { return l3_->stats(); });
+    for (std::size_t cid = 0; cid < cores_.size(); ++cid) {
+        if (const SramCache *l1 = cores_[cid].l1.get())
+            registry_.add("l1." + std::to_string(cid),
+                          [l1] { return l1->stats(); });
+        if (const SramCache *l2 = cores_[cid].l2.get())
+            registry_.add("l2." + std::to_string(cid),
+                          [l2] { return l2->stats(); });
+    }
+    if (l4_) {
+        registry_.add("l4", [this] { return l4_->stats(); });
+        registry_.add("l4.dram",
+                      [this] { return l4_->device().stats(); });
+        if (const auto *comp =
+                dynamic_cast<const CompressedDramCache *>(l4_.get())) {
+            registry_.add("cip", [comp] { return comp->cip().stats(); });
+        }
+    }
+    registry_.add("mapi", [this] { return mapi_.stats(); });
+    registry_.add("mem.dram", [this] { return mem_.device().stats(); });
+    // The arena is process-wide, but including its counters in every
+    // cell's export shows each cell the hit/eviction state it ran
+    // under (a stalling sweep is usually an arena thrashing story).
+    registry_.add("trace_arena",
+                  [] { return TraceArena::instance().statGroup(); });
 }
 
 std::uint64_t
@@ -258,11 +305,15 @@ System::step(std::uint32_t cid)
 
     ++cs.refs_done;
     ++refs_total_;
+    ++refs_lifetime_;
     if (l4_ && sample_interval_ > 0 &&
         refs_total_ % sample_interval_ == 0) {
         valid_accum_ += static_cast<double>(l4_->validLines());
         ++valid_samples_;
     }
+    if (stats_interval_refs_ > 0 &&
+        refs_lifetime_ % stats_interval_refs_ == 0)
+        registry_.captureInterval(phase_, refs_lifetime_);
     cs.pending = cs.trace->next();
 }
 
@@ -325,6 +376,8 @@ System::run()
 
     std::vector<Cycle> warmup_cycles(cfg_.num_cores, 0);
     if (cfg_.warmup_refs_per_core > 0) {
+        TraceSpan span("sim", "warmup");
+        phase_ = "warmup";
         sample_interval_ = 0; // no occupancy samples during warmup
         runPhase(cfg_.warmup_refs_per_core);
         for (std::uint32_t cid = 0; cid < cfg_.num_cores; ++cid)
@@ -338,7 +391,11 @@ System::run()
         miss_latency_count_ = 0;
     }
 
-    runPhase(cfg_.warmup_refs_per_core + cfg_.refs_per_core);
+    {
+        TraceSpan span("sim", "measure");
+        phase_ = "measure";
+        runPhase(cfg_.warmup_refs_per_core + cfg_.refs_per_core);
+    }
 
     RunResult res;
     res.core_cycles.reserve(cores_.size());

@@ -18,6 +18,7 @@
 
 #include "cache/sram_cache.hpp"
 #include "common/flat_map.hpp"
+#include "common/telemetry.hpp"
 #include "core/compressed.hpp"
 #include "core/dram_cache.hpp"
 #include "core/mapi.hpp"
@@ -147,8 +148,22 @@ class System
            std::vector<WorkloadProfile> core_profiles,
            std::shared_ptr<const TraceSet> replay = nullptr);
 
+    /** The stat registry holds this-capturing providers over every
+     *  component; moving or copying the system would dangle them. */
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
     /** Simulate refs_per_core references on every core. */
     RunResult run();
+
+    /**
+     * Telemetry registry over every component of this system (L3, L4
+     * and its DRAM device, CIP, MAP-I, main memory, the trace arena).
+     * Values are live; run() additionally appends interval snapshots
+     * every DICE_STATS_INTERVAL references when that knob is set.
+     */
+    StatRegistry &statRegistry() { return registry_; }
+    const StatRegistry &statRegistry() const { return registry_; }
 
     /** The L4, for white-box inspection in tests (may be null). */
     DramCache *l4() { return l4_.get(); }
@@ -178,6 +193,9 @@ class System
 
     /** Reset statistics at the warmup/measurement boundary. */
     void resetAllStats();
+
+    /** Register every component's StatGroup provider (ctor tail). */
+    void registerStats();
 
     /**
      * Service an L3 miss for @p line at @p when; fills L3 (dirty with
@@ -215,6 +233,18 @@ class System
     std::uint64_t valid_samples_ = 0;
     double valid_accum_ = 0.0;
     std::uint64_t sample_interval_ = 0;
+
+    StatRegistry registry_;
+    /**
+     * Refs over the system's whole lifetime. Unlike refs_total_ it is
+     * never reset at the warmup/measure boundary, so the interval
+     * snapshots it stamps stay strictly monotonic across the run.
+     */
+    std::uint64_t refs_lifetime_ = 0;
+    /** Refs between interval snapshots (DICE_STATS_INTERVAL; 0=off). */
+    std::uint64_t stats_interval_refs_ = 0;
+    /** Label interval snapshots carry ("warmup" / "measure"). */
+    const char *phase_ = "warmup";
 };
 
 /** Weighted speedup of @p test over @p base (per-core cycle ratios). */

@@ -142,6 +142,21 @@ TraceArena::stats() const
     return s;
 }
 
+StatGroup
+TraceArena::statGroup() const
+{
+    StatGroup g("trace_arena");
+    g.addFormula("hits", [this]() { return double(stats().hits); });
+    g.addFormula("misses",
+                 [this]() { return double(stats().generations); });
+    g.addFormula("evictions",
+                 [this]() { return double(stats().evictions); });
+    g.addFormula("resident_bytes",
+                 [this]() { return double(stats().resident_bytes); });
+    g.addFormula("entries", [this]() { return double(stats().entries); });
+    return g;
+}
+
 void
 TraceArena::setByteBudget(std::uint64_t bytes)
 {

@@ -29,6 +29,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "workloads/packed_trace.hpp"
 #include "workloads/profile.hpp"
 
@@ -103,6 +104,14 @@ class TraceArena
     };
 
     Stats stats() const;
+
+    /**
+     * The same counters as a telemetry group ("trace_arena"), for
+     * registration in a StatRegistry. Values are read live (each
+     * formula snapshots the counters under the arena lock), so a
+     * per-cell stats export shows arena behavior as of that cell.
+     */
+    StatGroup statGroup() const;
 
     /** Override the byte budget (tests); evicts down immediately. */
     void setByteBudget(std::uint64_t bytes);

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for test assertions.
+ *
+ * The telemetry layer emits JSON (stats registries, Chrome trace
+ * events); tests must prove those documents actually parse and carry
+ * the right values without growing a third-party dependency. This
+ * parser covers the full JSON grammar the emitters use (objects,
+ * arrays, strings with escapes, numbers, true/false/null) and fails
+ * loudly on anything malformed — that failure *is* the assertion.
+ *
+ * Test-only: include from tests/, never from src/.
+ */
+
+#ifndef DICE_TESTS_MINI_JSON_HPP
+#define DICE_TESTS_MINI_JSON_HPP
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dice::testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+/** One parsed JSON value (tagged union, shared_ptr children). */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member access; throws when absent or not an object. */
+    const Value &
+    at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("not an object");
+        const auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return *it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+};
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (next() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    void
+    expectWord(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p)
+            expect(*p);
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't': {
+            expectWord("true");
+            auto v = std::make_shared<Value>();
+            v->kind = Value::Kind::Bool;
+            v->boolean = true;
+            return v;
+          }
+          case 'f': {
+            expectWord("false");
+            auto v = std::make_shared<Value>();
+            v->kind = Value::Kind::Bool;
+            v->boolean = false;
+            return v;
+          }
+          case 'n': {
+            expectWord("null");
+            return std::make_shared<Value>();
+          }
+          default:
+            return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            ValuePtr key = parseString();
+            skipWs();
+            expect(':');
+            v->object[key->string] = parseValue();
+            skipWs();
+            const char c = next();
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v->array.push_back(parseValue());
+            skipWs();
+            const char c = next();
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::String;
+        expect('"');
+        while (true) {
+            const char c = next();
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v->string += c;
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                v->string += esc;
+                break;
+              case 'n':
+                v->string += '\n';
+                break;
+              case 't':
+                v->string += '\t';
+                break;
+              case 'r':
+                v->string += '\r';
+                break;
+              case 'b':
+                v->string += '\b';
+                break;
+              case 'f':
+                v->string += '\f';
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = next();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The emitters only escape control characters, which
+                // are single bytes; that is all the tests need.
+                v->string += static_cast<char>(code & 0xFF);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Number;
+        try {
+            v->number = std::stod(text_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            fail("bad number");
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+inline ValuePtr
+parse(const std::string &text)
+{
+    return detail::Parser(text).parse();
+}
+
+} // namespace dice::testjson
+
+#endif // DICE_TESTS_MINI_JSON_HPP
