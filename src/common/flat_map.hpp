@@ -50,9 +50,10 @@ struct Mix64Hash
  * Open-addressed hash map with linear probing.
  *
  * Supports exactly what the simulator needs — find / operator[] /
- * insert_or_assign / erase / clear / reserve — over flat arrays with
- * a separate one-byte occupancy plane, so probe runs stay within a
- * couple of cache lines. Erasure backward-shifts the displaced run
+ * insert_or_assign / erase / clear / reserve — over one flat slot
+ * array that interleaves key, value, and occupancy byte, so a probe
+ * run touches consecutive bytes of one or two cache lines instead of
+ * three parallel arrays. Erasure backward-shifts the displaced run
  * instead of leaving tombstones, keeping probe lengths tight on
  * erase-heavy workloads. References returned by find()/operator[] are
  * invalidated by any mutating call (growth rehashes in place).
@@ -72,7 +73,7 @@ class FlatMap
     bool empty() const { return size_ == 0; }
 
     /** Current slot count (always a power of two, or zero). */
-    std::size_t capacity() const { return keys_.size(); }
+    std::size_t capacity() const { return slots_.size(); }
 
     /** Grow so @p expected_keys fit without further rehashing. */
     void
@@ -90,7 +91,8 @@ class FlatMap
     void
     clear()
     {
-        std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+        for (Slot &s : slots_)
+            s.used = 0;
         size_ = 0;
     }
 
@@ -101,10 +103,10 @@ class FlatMap
         if (size_ == 0)
             return nullptr;
         for (std::size_t i = Hash{}(key)&mask_;; i = (i + 1) & mask_) {
-            if (!used_[i])
+            if (!slots_[i].used)
                 return nullptr;
-            if (keys_[i] == key)
-                return &vals_[i];
+            if (slots_[i].key == key)
+                return &slots_[i].val;
         }
     }
 
@@ -115,6 +117,18 @@ class FlatMap
     }
 
     bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /**
+     * Hint the cache to load @p key's home slot. Behavior-neutral: use
+     * when the lookup is known to follow other long work it can hide
+     * under (e.g. the main-memory version probe behind an L4 read).
+     */
+    void
+    prefetch(const K &key) const
+    {
+        if (!slots_.empty())
+            __builtin_prefetch(slots_.data() + (Hash{}(key) & mask_));
+    }
 
     /** Value of @p key, or @p fallback when absent. */
     V
@@ -129,14 +143,14 @@ class FlatMap
     operator[](const K &key)
     {
         growIfNeeded();
-        const std::size_t i = probe(key);
-        if (!used_[i]) {
-            used_[i] = 1;
-            keys_[i] = key;
-            vals_[i] = V{};
+        Slot &s = slots_[probe(key)];
+        if (!s.used) {
+            s.used = 1;
+            s.key = key;
+            s.val = V{};
             ++size_;
         }
-        return vals_[i];
+        return s.val;
     }
 
     /** Insert or overwrite; returns true when the key was new. */
@@ -144,14 +158,14 @@ class FlatMap
     insert_or_assign(const K &key, V value)
     {
         growIfNeeded();
-        const std::size_t i = probe(key);
-        const bool inserted = !used_[i];
+        Slot &s = slots_[probe(key)];
+        const bool inserted = !s.used;
         if (inserted) {
-            used_[i] = 1;
-            keys_[i] = key;
+            s.used = 1;
+            s.key = key;
             ++size_;
         }
-        vals_[i] = std::move(value);
+        s.val = std::move(value);
         return inserted;
     }
 
@@ -166,39 +180,47 @@ class FlatMap
             return false;
         std::size_t i = Hash{}(key)&mask_;
         for (;; i = (i + 1) & mask_) {
-            if (!used_[i])
+            if (!slots_[i].used)
                 return false;
-            if (keys_[i] == key)
+            if (slots_[i].key == key)
                 break;
         }
         // Shift successors whose home slot precedes the emptied hole
         // back into it, preserving every probe chain.
         std::size_t hole = i;
-        for (std::size_t j = (hole + 1) & mask_; used_[j];
+        for (std::size_t j = (hole + 1) & mask_; slots_[j].used;
              j = (j + 1) & mask_) {
-            const std::size_t home = Hash{}(keys_[j]) & mask_;
+            const std::size_t home = Hash{}(slots_[j].key) & mask_;
             // Move j into the hole unless j's home lies after the hole
             // (cyclically), in which case the chain stays intact.
             const bool reachable =
                 ((j - home) & mask_) >= ((j - hole) & mask_);
             if (reachable) {
-                keys_[hole] = std::move(keys_[j]);
-                vals_[hole] = std::move(vals_[j]);
+                slots_[hole].key = std::move(slots_[j].key);
+                slots_[hole].val = std::move(slots_[j].val);
                 hole = j;
             }
         }
-        used_[hole] = 0;
+        slots_[hole].used = 0;
         --size_;
         return true;
     }
 
   private:
+    /** One probe slot: key, value, and occupancy interleaved. */
+    struct Slot
+    {
+        K key;
+        V val;
+        std::uint8_t used;
+    };
+
     /** Slot where @p key lives or must be inserted (table non-empty). */
     std::size_t
     probe(const K &key) const
     {
         std::size_t i = Hash{}(key)&mask_;
-        while (used_[i] && !(keys_[i] == key))
+        while (slots_[i].used && !(slots_[i].key == key))
             i = (i + 1) & mask_;
         return i;
     }
@@ -213,28 +235,22 @@ class FlatMap
     void
     rehash(std::size_t new_capacity)
     {
-        std::vector<K> old_keys = std::move(keys_);
-        std::vector<V> old_vals = std::move(vals_);
-        std::vector<std::uint8_t> old_used = std::move(used_);
+        std::vector<Slot> old = std::move(slots_);
 
-        keys_.assign(new_capacity, K{});
-        vals_.assign(new_capacity, V{});
-        used_.assign(new_capacity, 0);
+        slots_.assign(new_capacity, Slot{});
         mask_ = new_capacity - 1;
 
-        for (std::size_t i = 0; i < old_used.size(); ++i) {
-            if (!old_used[i])
+        for (Slot &s : old) {
+            if (!s.used)
                 continue;
-            const std::size_t j = probe(old_keys[i]);
-            used_[j] = 1;
-            keys_[j] = std::move(old_keys[i]);
-            vals_[j] = std::move(old_vals[i]);
+            const std::size_t j = probe(s.key);
+            slots_[j].used = 1;
+            slots_[j].key = std::move(s.key);
+            slots_[j].val = std::move(s.val);
         }
     }
 
-    std::vector<K> keys_;
-    std::vector<V> vals_;
-    std::vector<std::uint8_t> used_;
+    std::vector<Slot> slots_;
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
 };
@@ -249,8 +265,12 @@ class FlatMap
  * heap allocation — and memory stays flat no matter how many distinct
  * keys pass through. clear() bumps the generation counter, lazily
  * invalidating every slot in O(1).
+ *
+ * Set @p PreHashed when keys are already well-mixed (e.g. mix64
+ * outputs): the bucket then comes straight from the key's low bits
+ * instead of rehashing.
  */
-template <typename K, typename V>
+template <typename K, typename V, bool PreHashed = false>
 class BoundedMemo
 {
   public:
@@ -259,30 +279,29 @@ class BoundedMemo
     /** @param bucket_bits log2 of the bucket count (default 2^14). */
     explicit BoundedMemo(std::uint32_t bucket_bits = 14)
         : bucket_mask_((std::size_t{1} << bucket_bits) - 1),
-          keys_((bucket_mask_ + 1) * kWays, K{}),
-          vals_((bucket_mask_ + 1) * kWays, V{}),
-          gens_((bucket_mask_ + 1) * kWays, 0)
+          buckets_(bucket_mask_ + 1)
     {
     }
 
     /** Total slots (constant for the memo's lifetime). */
-    std::size_t slotCount() const { return keys_.size(); }
+    std::size_t slotCount() const { return buckets_.size() * kWays; }
 
     /** Storage footprint in bytes (constant for the memo's lifetime). */
     std::size_t
     capacityBytes() const
     {
-        return keys_.size() * (sizeof(K) + sizeof(V) + sizeof(gen_));
+        return buckets_.size() * sizeof(Bucket);
     }
 
     /** Pointer to the memoized value of @p key, or nullptr on miss. */
     const V *
     find(const K &key) const
     {
-        const std::size_t base = bucketOf(key) * kWays;
+        const std::uint64_t h = hashOf(key);
+        const Bucket &b = buckets_[h & bucket_mask_];
         for (std::uint32_t w = 0; w < kWays; ++w) {
-            if (gens_[base + w] == gen_ && keys_[base + w] == key)
-                return &vals_[base + w];
+            if (b.gens[w] == gen_ && b.keys[w] == key)
+                return &b.vals[w];
         }
         return nullptr;
     }
@@ -291,21 +310,23 @@ class BoundedMemo
     void
     put(const K &key, V value)
     {
-        const std::size_t base = bucketOf(key) * kWays;
-        std::size_t victim = base + victimWay(key);
+        const std::uint64_t h = hashOf(key);
+        Bucket &b = buckets_[h & bucket_mask_];
+        // Deterministic replacement way from independent hash bits.
+        auto victim = static_cast<std::uint32_t>(h >> 62);
         for (std::uint32_t w = 0; w < kWays; ++w) {
-            if (gens_[base + w] != gen_) {
-                victim = base + w; // prefer a stale slot
+            if (b.gens[w] != gen_) {
+                victim = w; // prefer a stale slot
                 break;
             }
-            if (keys_[base + w] == key) {
-                victim = base + w; // refresh in place
+            if (b.keys[w] == key) {
+                victim = w; // refresh in place
                 break;
             }
         }
-        keys_[victim] = key;
-        vals_[victim] = std::move(value);
-        gens_[victim] = gen_;
+        b.keys[victim] = key;
+        b.vals[victim] = std::move(value);
+        b.gens[victim] = gen_;
     }
 
     /** Invalidate everything in O(1) via the generation counter. */
@@ -314,30 +335,39 @@ class BoundedMemo
     {
         ++gen_;
         if (gen_ == 0) { // wrapped: slots with gen 0 must not revive
-            std::fill(gens_.begin(), gens_.end(), 0);
+            for (Bucket &b : buckets_)
+                std::fill(std::begin(b.gens), std::end(b.gens), 0);
             gen_ = 1;
         }
     }
 
   private:
-    std::size_t
-    bucketOf(const K &key) const
+    static std::uint64_t
+    hashOf(const K &key)
     {
-        return mix64(static_cast<std::uint64_t>(key)) & bucket_mask_;
+        if constexpr (PreHashed)
+            return static_cast<std::uint64_t>(key);
+        else
+            return mix64(static_cast<std::uint64_t>(key));
     }
 
-    /** Deterministic replacement way from independent hash bits. */
-    std::uint32_t
-    victimWay(const K &key) const
+    /**
+     * One bucket interleaves its ways' keys, values, and generations so
+     * a probe touches one cache line, not three parallel arrays — at
+     * the memo footprints the compressed cache uses (MiBs), every probe
+     * is a cache miss and the layout sets how many. For the 8-B-key /
+     * 4-B-value instantiation of the hot path, sizeof(Bucket) is
+     * exactly 64.
+     */
+    struct Bucket
     {
-        return static_cast<std::uint32_t>(
-            mix64(static_cast<std::uint64_t>(key)) >> 62);
-    }
+        K keys[kWays];
+        V vals[kWays];
+        std::uint32_t gens[kWays];
+    };
 
     std::size_t bucket_mask_;
-    std::vector<K> keys_;
-    std::vector<V> vals_;
-    std::vector<std::uint32_t> gens_;
+    std::vector<Bucket> buckets_;
     std::uint32_t gen_ = 1;
 };
 

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * SIMD dispatch shim for the hot-loop scan kernels.
+ *
+ * The simulation's per-reference work is dominated by small dense
+ * scans: TAD-set key matches, min-LRU victim selection, and the
+ * FPC/BDI size-only classification loops. Each of those has a wide
+ * (AVX2 on x86, NEON on aarch64) and a scalar implementation behind
+ * the dispatched entry points below.
+ *
+ * Bit-identity contract: every wide kernel returns *exactly* what the
+ * scalar reference implementation in simd::scalar returns, for every
+ * input — the golden digests pin simulation output to the bit, so a
+ * kernel that "almost" matches would silently fork the model. The
+ * contract is enforced three ways:
+ *
+ *  - `DICE_FORCE_SCALAR=1` (env, read once, overridable per-test via
+ *    setForceScalarForTest) routes every dispatched call to the
+ *    scalar implementation at runtime;
+ *  - `-DDICE_SIMD=OFF` (CMake -> DICE_NO_SIMD) compiles the wide
+ *    paths out entirely;
+ *  - tests/test_simd_parity.cpp fuzzes dispatched-vs-scalar for every
+ *    kernel under both settings.
+ *
+ * x86 dispatch is *runtime*: the AVX2 kernels are compiled with a
+ * per-function target attribute, so a default (-O2, no -march) build
+ * still uses them on AVX2 hardware and falls back to scalar elsewhere.
+ */
+
+#ifndef DICE_COMMON_SIMD_HPP
+#define DICE_COMMON_SIMD_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(DICE_NO_SIMD) && (defined(__x86_64__) || defined(_M_X64))
+#define DICE_SIMD_X86 1
+#include <immintrin.h>
+#elif !defined(DICE_NO_SIMD) && defined(__ARM_NEON)
+#define DICE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+// On x86 the wide kernels carry their own target attribute so that a
+// portable build (no -march=native) can still run them after the
+// runtime CPU check; with -mavx2/-march=native already in effect the
+// attribute is redundant but harmless.
+#if defined(DICE_SIMD_X86) && !defined(__AVX2__)
+#define DICE_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define DICE_TARGET_AVX2
+#endif
+
+namespace dice::simd
+{
+
+namespace detail
+{
+/** -1 = env not read yet; else 0/1. Shared by the inline fast path. */
+extern std::atomic<int> g_force_scalar;
+/** Reads DICE_FORCE_SCALAR once and latches it; returns 0/1. */
+int readForceScalarEnv();
+} // namespace detail
+
+/** True when DICE_FORCE_SCALAR (or a test override) disables SIMD. */
+inline bool
+scalarForced()
+{
+    const int v = detail::g_force_scalar.load(std::memory_order_relaxed);
+    return (v >= 0 ? v : detail::readForceScalarEnv()) == 1;
+}
+
+/** Test hook: override the DICE_FORCE_SCALAR decision at runtime. */
+void setForceScalarForTest(bool force);
+
+#if defined(DICE_SIMD_X86)
+/** Cached cpuid probe: does this machine execute AVX2? */
+inline bool
+cpuHasAvx2()
+{
+    static const bool has = __builtin_cpu_supports("avx2") != 0;
+    return has;
+}
+#endif
+
+/** True when the dispatched kernels take a wide path on this call. */
+inline bool
+active()
+{
+#if defined(DICE_SIMD_X86)
+    return cpuHasAvx2() && !scalarForced();
+#elif defined(DICE_SIMD_NEON)
+    return !scalarForced();
+#else
+    return false;
+#endif
+}
+
+/** Name of the backend active() would pick: "avx2"/"neon"/"scalar". */
+const char *backendName();
+
+// ---------------------------------------------------------------------
+// Scalar reference implementations. These define the semantics; every
+// wide kernel must match them bit-for-bit (see file comment).
+// ---------------------------------------------------------------------
+
+namespace scalar
+{
+
+/** First index in [start, n) with v[i] == key, else n. */
+inline std::size_t
+findU64(const std::uint64_t *v, std::size_t n, std::uint64_t key,
+        std::size_t start)
+{
+    for (std::size_t i = start; i < n; ++i) {
+        if (v[i] == key)
+            return i;
+    }
+    return n;
+}
+
+/** Bit i set iff v[i] == key, for i in [0, n); n <= 64. */
+inline std::uint64_t
+matchMaskU64(const std::uint64_t *v, std::size_t n, std::uint64_t key)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] == key)
+            mask |= std::uint64_t{1} << i;
+    }
+    return mask;
+}
+
+/**
+ * First index of the (unsigned) minimum of v[0..n), never returning
+ * index @p skip (pass n or anything >= n for "no exclusion"); n when
+ * no candidate exists. "First index of the minimum" is load-bearing:
+ * the LRU eviction tie-break is part of the pinned model behavior.
+ */
+inline std::size_t
+minIndexU64(const std::uint64_t *v, std::size_t n, std::size_t skip)
+{
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i == skip)
+            continue;
+        if (best == n || v[i] < v[best])
+            best = i;
+    }
+    return best;
+}
+
+/** Sum of n uint16 values (byte-accounting audit; fits uint32). */
+inline std::uint32_t
+sumU16(const std::uint16_t *v, std::size_t n)
+{
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += v[i];
+    return total;
+}
+
+/** True when all @p n bytes at @p p are zero. */
+inline bool
+allZero(const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (p[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * BDI representability of pre-sign-extended elements under one
+ * explicit base: every element must fit @p delta_bits signed as an
+ * immediate, or as a delta from the first non-immediate element.
+ * Exactly the rule BdiCodec/compressInMode apply.
+ */
+inline bool
+deltasFitI64(const std::int64_t *elems, std::uint32_t n_elem,
+             std::uint32_t delta_bits)
+{
+    const std::int64_t lim = std::int64_t{1} << (delta_bits - 1);
+    std::int64_t base = 0;
+    bool base_set = false;
+    for (std::uint32_t i = 0; i < n_elem; ++i) {
+        const std::int64_t val = elems[i];
+        if (val >= -lim && val < lim)
+            continue;
+        if (!base_set) {
+            base = val;
+            base_set = true;
+        }
+        // Matches the codec's (wrapping) int64 delta arithmetic.
+        const std::int64_t delta = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(val) -
+            static_cast<std::uint64_t>(base));
+        if (!(delta >= -lim && delta < lim))
+            return false;
+    }
+    return true;
+}
+
+} // namespace scalar
+
+// ---------------------------------------------------------------------
+// AVX2 kernels (x86). Each mirrors its scalar twin exactly.
+// ---------------------------------------------------------------------
+
+#if defined(DICE_SIMD_X86)
+
+namespace detail
+{
+
+DICE_TARGET_AVX2 inline std::size_t
+findU64Avx2(const std::uint64_t *v, std::size_t n, std::uint64_t key,
+            std::size_t start)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    std::size_t i = start;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(x, needle)));
+        if (m != 0)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i) {
+        if (v[i] == key)
+            return i;
+    }
+    return n;
+}
+
+DICE_TARGET_AVX2 inline std::uint64_t
+matchMaskU64Avx2(const std::uint64_t *v, std::size_t n,
+                 std::uint64_t key)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const auto m = static_cast<std::uint64_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(x, needle))));
+        mask |= m << i;
+    }
+    for (; i < n; ++i) {
+        if (v[i] == key)
+            mask |= std::uint64_t{1} << i;
+    }
+    return mask;
+}
+
+DICE_TARGET_AVX2 inline std::size_t
+minIndexU64Avx2(const std::uint64_t *v, std::size_t n, std::size_t skip)
+{
+    if (n < 8) // short sets: the vector setup would dominate
+        return scalar::minIndexU64(v, n, skip);
+
+    // Pass 1: minimum value over i != skip. AVX2 has no unsigned
+    // 64-bit min, so compares run on sign-flipped lanes; the skip lane
+    // (at most one) is blended to UINT64_MAX so it can never win
+    // unless nothing else exists — which pass 2 handles by skipping.
+    const __m256i flip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    __m256i vmin = ones;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        if (skip >= i && skip < i + 4) {
+            const __m256i lane_idx =
+                _mm256_set_epi64x(static_cast<long long>(i + 3),
+                                  static_cast<long long>(i + 2),
+                                  static_cast<long long>(i + 1),
+                                  static_cast<long long>(i));
+            const __m256i skip_mask = _mm256_cmpeq_epi64(
+                lane_idx,
+                _mm256_set1_epi64x(static_cast<long long>(skip)));
+            x = _mm256_blendv_epi8(x, ones, skip_mask);
+        }
+        const __m256i gt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(vmin, flip), _mm256_xor_si256(x, flip));
+        vmin = _mm256_blendv_epi8(vmin, x, gt);
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), vmin);
+    std::uint64_t best = lanes[0];
+    for (int l = 1; l < 4; ++l)
+        best = lanes[l] < best ? lanes[l] : best;
+    // n >= 8 guarantees at least two full chunks with >= 7 non-skip
+    // lanes, so `best` is a real candidate even if the sentinel or an
+    // all-max input leaves it at UINT64_MAX.
+    for (std::size_t t = i; t < n; ++t) {
+        if (t != skip && v[t] < best)
+            best = v[t];
+    }
+
+    // Pass 2: first index holding the minimum, still excluding skip.
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(best));
+    for (std::size_t j = 0; j < n;) {
+        if (j + 4 <= n) {
+            const __m256i x = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(v + j));
+            int m = _mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(x, needle)));
+            while (m != 0) {
+                const std::size_t idx =
+                    j + static_cast<std::size_t>(
+                            __builtin_ctz(static_cast<unsigned>(m)));
+                if (idx != skip)
+                    return idx;
+                m &= m - 1;
+            }
+            j += 4;
+        } else {
+            if (j != skip && v[j] == best)
+                return j;
+            ++j;
+        }
+    }
+    return n; // unreachable when a candidate exists
+}
+
+DICE_TARGET_AVX2 inline std::uint32_t
+sumU16Avx2(const std::uint16_t *v, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(v + i));
+        acc = _mm256_add_epi32(acc, _mm256_cvtepu16_epi32(x));
+    }
+    alignas(32) std::uint32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint32_t total = 0;
+    for (std::uint32_t lane : lanes)
+        total += lane;
+    for (; i < n; ++i)
+        total += v[i];
+    return total;
+}
+
+DICE_TARGET_AVX2 inline bool
+allZeroAvx2(const std::uint8_t *p, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        acc = _mm256_or_si256(acc, _mm256_loadu_si256(
+                                       reinterpret_cast<const __m256i *>(
+                                           p + i)));
+    }
+    if (_mm256_testz_si256(acc, acc) == 0)
+        return false;
+    for (; i < n; ++i) {
+        if (p[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+DICE_TARGET_AVX2 inline bool
+deltasFitI64Avx2(const std::int64_t *elems, std::uint32_t n_elem,
+                 std::uint32_t delta_bits)
+{
+    // fitsSigned(x, b) == ((uint64)(x + 2^(b-1)) & ~(2^b - 1)) == 0:
+    // the +half bias maps [-2^(b-1), 2^(b-1)) onto [0, 2^b) exactly
+    // (modular add, so no overflow concerns). delta_bits is 8/16/32
+    // here, n_elem a multiple of 4.
+    const long long half =
+        static_cast<long long>(std::uint64_t{1} << (delta_bits - 1));
+    const long long high = static_cast<long long>(
+        ~((std::uint64_t{1} << delta_bits) - 1));
+    const __m256i vhalf = _mm256_set1_epi64x(half);
+    const __m256i vhigh = _mm256_set1_epi64x(high);
+    const __m256i zero = _mm256_setzero_si256();
+
+    // Pass 1: find the base = first element that is not an immediate.
+    std::uint32_t base_idx = n_elem;
+    for (std::uint32_t i = 0; i < n_elem; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(elems + i));
+        const __m256i imm = _mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_add_epi64(x, vhalf), vhigh), zero);
+        const int m =
+            _mm256_movemask_pd(_mm256_castsi256_pd(imm)) & 0xF;
+        if (m != 0xF) {
+            base_idx = i + static_cast<std::uint32_t>(__builtin_ctz(
+                               static_cast<unsigned>(~m & 0xF)));
+            break;
+        }
+    }
+    if (base_idx == n_elem)
+        return true; // every element is an immediate
+
+    // Pass 2: every element must be an immediate or a fitting delta.
+    // Re-testing the pre-base elements is free (they are immediates).
+    const __m256i vbase = _mm256_set1_epi64x(
+        static_cast<long long>(elems[base_idx]));
+    for (std::uint32_t i = 0; i < n_elem; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(elems + i));
+        const __m256i imm = _mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_add_epi64(x, vhalf), vhigh), zero);
+        const __m256i d = _mm256_sub_epi64(x, vbase);
+        const __m256i fit = _mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_add_epi64(d, vhalf), vhigh), zero);
+        const int ok = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_or_si256(imm, fit)));
+        if ((ok & 0xF) != 0xF)
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+#endif // DICE_SIMD_X86
+
+// ---------------------------------------------------------------------
+// NEON kernels (aarch64). The key-match and summation scans are wide;
+// minIndexU64 and deltasFitI64 fall back to scalar (no unsigned 64-bit
+// min / movemask on NEON, and the scanned arrays are tiny).
+// ---------------------------------------------------------------------
+
+#if defined(DICE_SIMD_NEON)
+
+namespace detail
+{
+
+inline std::size_t
+findU64Neon(const std::uint64_t *v, std::size_t n, std::uint64_t key,
+            std::size_t start)
+{
+    const uint64x2_t needle = vdupq_n_u64(key);
+    std::size_t i = start;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(v + i), needle);
+        if (vgetq_lane_u64(eq, 0) != 0)
+            return i;
+        if (vgetq_lane_u64(eq, 1) != 0)
+            return i + 1;
+    }
+    for (; i < n; ++i) {
+        if (v[i] == key)
+            return i;
+    }
+    return n;
+}
+
+inline std::uint64_t
+matchMaskU64Neon(const std::uint64_t *v, std::size_t n,
+                 std::uint64_t key)
+{
+    const uint64x2_t needle = vdupq_n_u64(key);
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(v + i), needle);
+        mask |= (vgetq_lane_u64(eq, 0) & 1) << i;
+        mask |= (vgetq_lane_u64(eq, 1) & 1) << (i + 1);
+    }
+    for (; i < n; ++i) {
+        if (v[i] == key)
+            mask |= std::uint64_t{1} << i;
+    }
+    return mask;
+}
+
+inline std::uint32_t
+sumU16Neon(const std::uint16_t *v, std::size_t n)
+{
+    uint32x4_t acc = vdupq_n_u32(0);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint16x8_t x = vld1q_u16(v + i);
+        acc = vaddq_u32(acc, vaddl_u16(vget_low_u16(x),
+                                       vget_high_u16(x)));
+    }
+    std::uint32_t total = vaddvq_u32(acc);
+    for (; i < n; ++i)
+        total += v[i];
+    return total;
+}
+
+inline bool
+allZeroNeon(const std::uint8_t *p, std::size_t n)
+{
+    uint8x16_t acc = vdupq_n_u8(0);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+        acc = vorrq_u8(acc, vld1q_u8(p + i));
+    if (vmaxvq_u8(acc) != 0)
+        return false;
+    for (; i < n; ++i) {
+        if (p[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+#endif // DICE_SIMD_NEON
+
+// ---------------------------------------------------------------------
+// Dispatched entry points (what the simulator calls).
+// ---------------------------------------------------------------------
+
+inline std::size_t
+findU64(const std::uint64_t *v, std::size_t n, std::uint64_t key,
+        std::size_t start)
+{
+#if defined(DICE_SIMD_X86)
+    if (active())
+        return detail::findU64Avx2(v, n, key, start);
+#elif defined(DICE_SIMD_NEON)
+    if (active())
+        return detail::findU64Neon(v, n, key, start);
+#endif
+    return scalar::findU64(v, n, key, start);
+}
+
+inline std::uint64_t
+matchMaskU64(const std::uint64_t *v, std::size_t n, std::uint64_t key)
+{
+#if defined(DICE_SIMD_X86)
+    if (active())
+        return detail::matchMaskU64Avx2(v, n, key);
+#elif defined(DICE_SIMD_NEON)
+    if (active())
+        return detail::matchMaskU64Neon(v, n, key);
+#endif
+    return scalar::matchMaskU64(v, n, key);
+}
+
+inline std::size_t
+minIndexU64(const std::uint64_t *v, std::size_t n, std::size_t skip)
+{
+#if defined(DICE_SIMD_X86)
+    if (active())
+        return detail::minIndexU64Avx2(v, n, skip);
+#endif
+    return scalar::minIndexU64(v, n, skip);
+}
+
+inline std::uint32_t
+sumU16(const std::uint16_t *v, std::size_t n)
+{
+#if defined(DICE_SIMD_X86)
+    if (active())
+        return detail::sumU16Avx2(v, n);
+#elif defined(DICE_SIMD_NEON)
+    if (active())
+        return detail::sumU16Neon(v, n);
+#endif
+    return scalar::sumU16(v, n);
+}
+
+inline bool
+allZero(const std::uint8_t *p, std::size_t n)
+{
+#if defined(DICE_SIMD_X86)
+    if (active())
+        return detail::allZeroAvx2(p, n);
+#elif defined(DICE_SIMD_NEON)
+    if (active())
+        return detail::allZeroNeon(p, n);
+#endif
+    return scalar::allZero(p, n);
+}
+
+inline bool
+deltasFitI64(const std::int64_t *elems, std::uint32_t n_elem,
+             std::uint32_t delta_bits)
+{
+#if defined(DICE_SIMD_X86)
+    if (active() && (n_elem & 3) == 0 && delta_bits >= 1 &&
+        delta_bits < 64)
+        return detail::deltasFitI64Avx2(elems, n_elem, delta_bits);
+#endif
+    return scalar::deltasFitI64(elems, n_elem, delta_bits);
+}
+
+} // namespace dice::simd
+
+#endif // DICE_COMMON_SIMD_HPP

@@ -76,6 +76,39 @@ StatRegistry::captureInterval(const std::string &label,
     intervals_.push_back(std::move(snap));
 }
 
+std::vector<std::pair<std::string, double>>
+StatRegistry::intervalDeltas(std::size_t i) const
+{
+    dice_assert(i < intervals_.size(), "interval index out of range");
+    const Snapshot &snap = intervals_[i];
+    const Snapshot *prev = i > 0 ? &intervals_[i - 1] : nullptr;
+
+    std::vector<std::pair<std::string, double>> rows;
+    rows.reserve(snap.values.size());
+    for (std::size_t v = 0; v < snap.values.size(); ++v) {
+        const auto &[name, value] = snap.values[v];
+        double base = 0.0;
+        if (prev != nullptr) {
+            // Snapshots flatten in registration order, so the matching
+            // row is almost always at the same index; fall back to a
+            // name scan if a group appeared between captures.
+            if (v < prev->values.size() &&
+                prev->values[v].first == name) {
+                base = prev->values[v].second;
+            } else {
+                for (const auto &[pname, pvalue] : prev->values) {
+                    if (pname == name) {
+                        base = pvalue;
+                        break;
+                    }
+                }
+            }
+        }
+        rows.emplace_back(name, value - base);
+    }
+    return rows;
+}
+
 void
 appendJsonEscaped(std::string &out, const std::string &s)
 {
@@ -147,7 +180,8 @@ StatRegistry::toJson() const
     }
     out += "\n  },\n  \"intervals\": [";
     bool first_snap = true;
-    for (const Snapshot &snap : intervals_) {
+    for (std::size_t s = 0; s < intervals_.size(); ++s) {
+        const Snapshot &snap = intervals_[s];
         out += first_snap ? "\n" : ",\n";
         first_snap = false;
         out += "    {\"label\": \"";
@@ -163,6 +197,20 @@ StatRegistry::toJson() const
             appendJsonEscaped(out, name);
             out += "\": ";
             appendJsonNumber(out, value);
+        }
+        // Per-interval activity: cumulative counters differenced
+        // against the previous snapshot (the first one against zero),
+        // so consumers get warmup-vs-steady rates without re-deriving
+        // them from the cumulative rows.
+        out += "}, \"deltas\": {";
+        bool first_delta = true;
+        for (const auto &[name, dv] : intervalDeltas(s)) {
+            out += first_delta ? "" : ", ";
+            first_delta = false;
+            out += '"';
+            appendJsonEscaped(out, name);
+            out += "\": ";
+            appendJsonNumber(out, dv);
         }
         out += "}}";
     }
@@ -191,9 +239,13 @@ StatRegistry::toCsv() const
     };
     for (const auto &[name, value] : flatten())
         appendRow("final", 0, name, value);
-    for (const Snapshot &snap : intervals_) {
+    for (std::size_t s = 0; s < intervals_.size(); ++s) {
+        const Snapshot &snap = intervals_[s];
         for (const auto &[name, value] : snap.values)
             appendRow(snap.label.c_str(), snap.refs, name, value);
+        for (const auto &[name, dv] : intervalDeltas(s))
+            appendRow(snap.label.c_str(), snap.refs, name + ".delta",
+                      dv);
     }
     return out;
 }

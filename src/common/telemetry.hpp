@@ -74,6 +74,18 @@ class StatRegistry
 
     const std::vector<Snapshot> &intervals() const { return intervals_; }
 
+    /**
+     * Per-interval activity of snapshot @p i: each stat's value minus
+     * the previous snapshot's value for the same name (the first
+     * snapshot is differenced against zero). For cumulative counters
+     * this is the work done *within* the interval — what rate plots
+     * and warmup-vs-steady comparisons actually want. Exported as the
+     * "deltas" object per interval in toJson() and as "<name>.delta"
+     * rows in toCsv().
+     */
+    std::vector<std::pair<std::string, double>>
+    intervalDeltas(std::size_t i) const;
+
     /** Current value of every stat as flattened "path.stat" rows. */
     std::vector<std::pair<std::string, double>> flatten() const;
 

@@ -75,8 +75,20 @@ TraceLog::complete(const char *cat, std::string name, std::uint64_t ts_us,
 {
     if (!enabled_)
         return;
-    Event ev{std::move(name), cat, ts_us, dur_us, traceTid(),
-             std::move(args_json)};
+    Event ev{std::move(name), cat,  ts_us, dur_us, traceTid(),
+             'X',             std::move(args_json)};
+    std::lock_guard lock(mu_);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceLog::instant(const char *cat, std::string name,
+                  std::string args_json)
+{
+    if (!enabled_)
+        return;
+    Event ev{std::move(name), cat,  nowUs(), 0, traceTid(),
+             'i',             std::move(args_json)};
     std::lock_guard lock(mu_);
     events_.push_back(std::move(ev));
 }
@@ -121,12 +133,23 @@ TraceLog::flush()
         appendJsonEscaped(out, ev.name);
         out += "\", \"cat\": \"";
         appendJsonEscaped(out, ev.cat);
-        std::snprintf(buf, sizeof buf,
-                      "\", \"ph\": \"X\", \"ts\": %llu, \"dur\": %llu, "
-                      "\"pid\": %ld, \"tid\": %u",
-                      static_cast<unsigned long long>(ev.ts_us),
-                      static_cast<unsigned long long>(ev.dur_us), pid,
-                      ev.tid);
+        if (ev.ph == 'i') {
+            // Instant events carry a scope ("s":"t" = thread) and no
+            // duration in the trace-event format.
+            std::snprintf(buf, sizeof buf,
+                          "\", \"ph\": \"i\", \"s\": \"t\", "
+                          "\"ts\": %llu, \"pid\": %ld, \"tid\": %u",
+                          static_cast<unsigned long long>(ev.ts_us),
+                          pid, ev.tid);
+        } else {
+            std::snprintf(
+                buf, sizeof buf,
+                "\", \"ph\": \"X\", \"ts\": %llu, \"dur\": %llu, "
+                "\"pid\": %ld, \"tid\": %u",
+                static_cast<unsigned long long>(ev.ts_us),
+                static_cast<unsigned long long>(ev.dur_us), pid,
+                ev.tid);
+        }
         out += buf;
         if (!ev.args_json.empty()) {
             out += ", \"args\": ";

@@ -54,6 +54,15 @@ class TraceLog
     void complete(const char *cat, std::string name, std::uint64_t ts_us,
                   std::uint64_t dur_us, std::string args_json = {});
 
+    /**
+     * Record an instant event ("ph":"i", thread scope): a point-in-time
+     * marker at the current trace clock — arena evictions, budget
+     * trips, and similar one-shot occurrences that have no duration.
+     * No-op when disabled.
+     */
+    void instant(const char *cat, std::string name,
+                 std::string args_json = {});
+
     /** Events recorded so far. */
     std::size_t pendingEvents() const;
 
@@ -77,8 +86,9 @@ class TraceLog
         std::string name;
         const char *cat;
         std::uint64_t ts_us;
-        std::uint64_t dur_us;
+        std::uint64_t dur_us; ///< Unused (0) for instant events.
         std::uint32_t tid;
+        char ph; ///< 'X' = complete span, 'i' = instant marker.
         std::string args_json;
     };
 

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
+#include "common/simd.hpp"
 #include "compress/bitstream.hpp"
 
 namespace dice
@@ -25,30 +26,6 @@ void
 storeElem(Line &line, std::uint32_t k, std::uint32_t idx, std::uint64_t v)
 {
     std::memcpy(line.data() + k * idx, &v, k);
-}
-
-/**
- * Representability of pre-extended elements under one explicit base
- * (same rule as representable(), minus the per-mode line reloads).
- */
-bool
-deltasFit(const std::int64_t *elems, std::uint32_t n_elem,
-          std::uint32_t delta_bits)
-{
-    std::int64_t base = 0;
-    bool base_set = false;
-    for (std::uint32_t i = 0; i < n_elem; ++i) {
-        const std::int64_t val = elems[i];
-        if (fitsSigned(val, delta_bits))
-            continue;
-        if (!base_set) {
-            base = val;
-            base_set = true;
-        }
-        if (!fitsSigned(val - base, delta_bits))
-            return false;
-    }
-    return true;
 }
 
 } // namespace
@@ -258,10 +235,13 @@ BdiCodec::compressedBits(const Line &line) const
     if (repeated)
         return payloadBits(Rep8);
 
+    // The per-mode delta-width checks dispatch through
+    // simd::deltasFitI64 (vectorized on AVX2, identical semantics to
+    // the scalar rule representable() applies).
     std::int64_t e8[kLineSize / 8];
     for (std::uint32_t i = 0; i < kLineSize / 8; ++i)
         e8[i] = static_cast<std::int64_t>(w[i]);
-    if (deltasFit(e8, kLineSize / 8, 8))
+    if (simd::deltasFitI64(e8, kLineSize / 8, 8))
         return payloadBits(B8D1);
 
     std::int64_t e4[kLineSize / 4];
@@ -270,9 +250,9 @@ BdiCodec::compressedBits(const Line &line) const
         std::memcpy(&v, line.data() + 4 * i, 4);
         e4[i] = static_cast<std::int32_t>(v);
     }
-    if (deltasFit(e4, kLineSize / 4, 8))
+    if (simd::deltasFitI64(e4, kLineSize / 4, 8))
         return payloadBits(B4D1);
-    if (deltasFit(e8, kLineSize / 8, 16))
+    if (simd::deltasFitI64(e8, kLineSize / 8, 16))
         return payloadBits(B8D2);
 
     std::int64_t e2[kLineSize / 2];
@@ -281,11 +261,11 @@ BdiCodec::compressedBits(const Line &line) const
         std::memcpy(&v, line.data() + 2 * i, 2);
         e2[i] = static_cast<std::int16_t>(v);
     }
-    if (deltasFit(e2, kLineSize / 2, 8))
+    if (simd::deltasFitI64(e2, kLineSize / 2, 8))
         return payloadBits(B2D1);
-    if (deltasFit(e4, kLineSize / 4, 16))
+    if (simd::deltasFitI64(e4, kLineSize / 4, 16))
         return payloadBits(B4D2);
-    if (deltasFit(e8, kLineSize / 8, 32))
+    if (simd::deltasFitI64(e8, kLineSize / 8, 32))
         return payloadBits(B8D4);
     return 8 * kLineSize;
 }

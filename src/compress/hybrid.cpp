@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/log.hpp"
+#include "common/simd.hpp"
 #include "compress/bitstream.hpp"
 
 namespace dice
@@ -72,30 +73,6 @@ loadElem(const Line &line, std::uint32_t k, std::uint32_t idx)
     std::uint64_t v = 0;
     std::memcpy(&v, line.data() + k * idx, k);
     return v;
-}
-
-/**
- * Representability of pre-extended pair elements under one explicit
- * shared base (the rule sharedBaseEncode() applies, size-only).
- */
-bool
-pairDeltasFit(const std::int64_t *elems, std::uint32_t n_elem,
-              std::uint32_t delta_bits)
-{
-    std::int64_t base_val = 0;
-    bool base_set = false;
-    for (std::uint32_t i = 0; i < n_elem; ++i) {
-        const std::int64_t val = elems[i];
-        if (fitsSigned(val, delta_bits))
-            continue;
-        if (!base_set) {
-            base_val = val;
-            base_set = true;
-        }
-        if (!fitsSigned(val - base_val, delta_bits))
-            return false;
-    }
-    return true;
 }
 
 /** Sign-extended k-byte elements of @p a then @p b. */
@@ -167,8 +144,10 @@ HybridCodec::pairSizeBytes(const Line &a, const Line &b,
             have2 = true;
             elems = e2;
         }
-        if (pairDeltasFit(elems, 2 * kLineSize / k,
-                          8 * BdiCodec::deltaBytes(mode)))
+        // Same representability rule sharedBaseEncode() applies,
+        // size-only, vectorized on AVX2.
+        if (simd::deltasFitI64(elems, 2 * kLineSize / k,
+                               8 * BdiCodec::deltaBytes(mode)))
             best_bits = bits;
     }
     return (best_bits + 7) / 8;

@@ -1,8 +1,7 @@
 #include "zca.hpp"
 
-#include <algorithm>
-
 #include "common/log.hpp"
+#include "common/simd.hpp"
 
 namespace dice
 {
@@ -10,10 +9,7 @@ namespace dice
 Encoded
 ZcaCodec::compress(const Line &line) const
 {
-    const bool all_zero =
-        std::all_of(line.begin(), line.end(),
-                    [](std::uint8_t b) { return b == 0; });
-    if (!all_zero)
+    if (!simd::allZero(line.data(), kLineSize))
         return encodeRaw(line);
 
     Encoded enc;
@@ -25,10 +21,7 @@ ZcaCodec::compress(const Line &line) const
 std::uint32_t
 ZcaCodec::compressedSizeBytes(const Line &line) const
 {
-    const bool all_zero =
-        std::all_of(line.begin(), line.end(),
-                    [](std::uint8_t b) { return b == 0; });
-    return all_zero ? 0 : kLineSize;
+    return simd::allZero(line.data(), kLineSize) ? 0 : kLineSize;
 }
 
 Line

@@ -137,20 +137,64 @@ CompressedDramCache::pairSizeOf(LineAddr base, std::uint64_t even_payload,
         mix64(mix64(base, even_payload), odd_payload);
     if (const std::uint32_t *hit = pair_size_cache_.find(key))
         return *hit;
+
     // The single-line sizes usually sit in the size memo (the line
     // being installed was just sized; its neighbor was sized when it
     // arrived), so the joint pass only pays for the pair modes — and
     // when the independent sizes already beat every shared-base mode
     // (the smallest is B8D1's 24 B), the lines need not even be
-    // synthesized.
-    const std::uint32_t even_bytes = sizeOf(base, even_payload);
-    const std::uint32_t odd_bytes = sizeOf(base | 1, odd_payload);
-    const std::uint32_t size =
-        even_bytes + odd_bytes <= 24
-            ? even_bytes + odd_bytes
-            : codec_.pairSizeBytes(source_.bytes(base, even_payload),
-                                   source_.bytes(base | 1, odd_payload),
-                                   even_bytes, odd_bytes);
+    // synthesized. When they must be, each half is synthesized at most
+    // once, shared between its memo-missed single sizing and the joint
+    // pass; a pair neither sizing touched comes from one bytesPair
+    // call so the source derives their common state once.
+    Line lines[2];
+    std::uint32_t have = 0; // bit h set: lines[h] synthesized
+    const std::uint64_t payloads[2] = {even_payload, odd_payload};
+    auto lineOf = [&](std::uint32_t h) -> const Line & {
+        if (!(have & (1u << h))) {
+            lines[h] = source_.bytes(base | h, payloads[h]);
+            have |= 1u << h;
+        }
+        return lines[h];
+    };
+    const std::uint64_t half_keys[2] = {mix64(base, even_payload),
+                                        mix64(base | 1, odd_payload)};
+    std::uint32_t half_bytes[2];
+    std::uint32_t missed = 0; // bit h set: size memo missed half h
+    for (std::uint32_t h = 0; h < 2; ++h) {
+        if (const std::uint32_t *hit = size_cache_.find(half_keys[h]))
+            half_bytes[h] = *hit;
+        else
+            missed |= 1u << h;
+    }
+    if (missed == 3) {
+        // Both halves miss: derive them together and size them through
+        // the codec's batched route (one classification pass setup).
+        source_.bytesPair(base, even_payload, odd_payload, lines);
+        have = 3;
+        codec_.compressedSizeBytes(lines, 2, half_bytes);
+        size_cache_.put(half_keys[0], half_bytes[0]);
+        size_cache_.put(half_keys[1], half_bytes[1]);
+    } else {
+        for (std::uint32_t h = 0; h < 2; ++h) {
+            if (!(missed & (1u << h)))
+                continue;
+            half_bytes[h] = codec_.compressedSizeBytes(lineOf(h));
+            size_cache_.put(half_keys[h], half_bytes[h]);
+        }
+    }
+
+    const std::uint32_t even_bytes = half_bytes[0];
+    const std::uint32_t odd_bytes = half_bytes[1];
+    std::uint32_t size = even_bytes + odd_bytes;
+    if (size > 24) {
+        if (have == 0) {
+            source_.bytesPair(base, even_payload, odd_payload, lines);
+            have = 3;
+        }
+        size = codec_.pairSizeBytes(lineOf(0), lineOf(1), even_bytes,
+                                    odd_bytes);
+    }
     pair_size_cache_.put(key, size);
     return size;
 }
@@ -177,7 +221,7 @@ CompressedDramCache::read(LineAddr line, Cycle now)
             res.extra_payload = lk.neighbor_payload;
             ++extra_lines_;
         }
-        sets_[set_idx].touch(line, ++lru_clock_);
+        sets_[set_idx].touchAt(lk.item, ++lru_clock_);
         ++read_hits_;
     };
 
@@ -243,7 +287,13 @@ CompressedDramCache::read(LineAddr line, Cycle now)
 void
 CompressedDramCache::removeResident(TadSet &set, LineAddr line)
 {
-    const TadLookup lk = set.lookup(line);
+    removeResident(set, line, set.lookup(line));
+}
+
+void
+CompressedDramCache::removeResident(TadSet &set, LineAddr line,
+                                    const TadLookup &lk)
+{
     dice_assert(lk.found, "removeResident of absent line");
     std::uint32_t survivor_bytes = 0;
     if (lk.in_pair) {
@@ -253,7 +303,7 @@ CompressedDramCache::removeResident(TadSet &set, LineAddr line)
         const LineAddr neighbor = SetIndexer::spatialNeighbor(line);
         survivor_bytes = sizeOf(neighbor, lk.neighbor_payload);
     }
-    set.remove(line, survivor_bytes);
+    set.removeAt(lk.item, line, survivor_bytes);
 }
 
 L4WriteResult
@@ -299,25 +349,27 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
     }
 
     const bool dual = cfg_.policy == CompressionPolicy::Dice && !invariant;
-    bool resident_in_target; // membership before any scrubbing below
+    TadLookup target_lk; // membership before any scrubbing below
     if (dual) {
         // One membership probe per candidate set serves the write
         // predictor, the duplicate scrub, and the update check: the
         // TSI and BAI sets are the only two places the line can be,
-        // and nothing mutates them between these uses.
+        // and nothing mutates them between these uses (the scrub only
+        // touches the non-target set, so the target lookup stays
+        // valid for the update removal below).
         const std::uint64_t tsi_set = indexer_.tsi(line);
         const std::uint64_t bai_set = indexer_.bai(line);
-        const bool in_tsi = sets_[tsi_set].contains(line);
-        const bool in_bai = sets_[bai_set].contains(line);
+        const TadLookup tsi_lk = sets_[tsi_set].lookup(line);
+        const TadLookup bai_lk = sets_[bai_set].lookup(line);
 
         // Score the size-based write predictor against where the line
         // actually was.
         const IndexScheme predicted =
             cip_.predictWrite(size, cfg_.threshold_bytes);
         IndexScheme actual = predicted;
-        if (in_tsi) {
+        if (tsi_lk.found) {
             actual = IndexScheme::TSI;
-        } else if (in_bai) {
+        } else if (bai_lk.found) {
             actual = IndexScheme::BAI;
         }
         cip_.scoreWrite(predicted, actual);
@@ -325,26 +377,26 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
         // Scrub a stale copy from the alternate location so a line is
         // never valid under both indexings at once.
         const std::uint64_t other = SetIndexer::alternateSet(target);
-        const bool in_other = other == tsi_set ? in_tsi : in_bai;
-        if (in_other) {
-            removeResident(sets_[other], line);
+        const TadLookup &other_lk = other == tsi_set ? tsi_lk : bai_lk;
+        if (other_lk.found) {
+            removeResident(sets_[other], line, other_lk);
             device_.access(mapper_.coord(other), 72, when, true);
             ++res.dram_accesses;
             ++duplicate_scrubs_;
         }
 
         cip_.train(line, scheme);
-        resident_in_target = target == tsi_set ? in_tsi : in_bai;
+        target_lk = target == tsi_set ? tsi_lk : bai_lk;
     } else {
-        resident_in_target = sets_[target].contains(line);
+        target_lk = sets_[target].lookup(line);
     }
 
     TadSet &set = sets_[target];
 
     // An update of a resident line is a remove + reinsert with the new
     // compressed size (its old copy is superseded, never written back).
-    if (resident_in_target)
-        removeResident(set, line);
+    if (target_lk.found)
+        removeResident(set, line, target_lk);
 
     // Try to merge with the spatial neighbor into a shared-tag pair.
     const LineAddr neighbor = SetIndexer::spatialNeighbor(line);
@@ -356,7 +408,7 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
             base, (line & 1) == 0 ? payload : nb.payload,
             (line & 1) == 1 ? payload : nb.payload);
         if (kTadTagBytes + pair_bytes <= kTadSetBytes) { // pair fits a TAD
-            removeResident(set, neighbor);
+            removeResident(set, neighbor, nb);
             while (!set.fits(pair_bytes, 2)) {
                 if (!set.evictLru(line, res.writebacks))
                     dice_panic("cannot make room for pair");

@@ -166,6 +166,13 @@ class CompressedDramCache : public DramCache
      */
     void removeResident(TadSet &set, LineAddr line);
 
+    /**
+     * removeResident() with @p line's lookup in @p set already in hand
+     * (and still valid — no mutation of @p set since): skips the
+     * re-scan install's membership probes already paid for.
+     */
+    void removeResident(TadSet &set, LineAddr line, const TadLookup &lk);
+
     std::uint32_t readBytes() const { return cfg_.knl_mode ? 72 : 80; }
 
     CompressedCacheConfig cfg_;
@@ -178,24 +185,26 @@ class CompressedDramCache : public DramCache
     /** Dense per-set state, directly indexed by set number. */
     std::vector<TadSet> sets_;
     /**
-     * Memoized compressed sizes keyed by mix64(line, version). Bounded
-     * and generation-versioned: a collision recomputes instead of
-     * growing, so the memo's footprint stays flat over arbitrarily
-     * long runs (it used to be an unbounded map that never evicted).
-     * 2^18 buckets x 4 ways (16 MiB) covers the resident-line working
-     * set of the capacities this study sweeps — smaller memos spill
-     * the gigabyte-cache working set and re-run the codec on lines
-     * whose sizes were already known.
+     * Memoized compressed sizes keyed by mix64(line, version) (already
+     * mixed, hence PreHashed). Bounded and generation-versioned: a
+     * collision recomputes instead of growing, so the memo's footprint
+     * stays flat over arbitrarily long runs (it used to be an unbounded
+     * map that never evicted). Sizing note: with the batched/vectorized
+     * codec sizing, a recompute (synthesize + size) costs about as much
+     * as a DRAM-latency probe miss, so a huge memo no longer pays —
+     * 2^14 buckets x 4 ways (1 MiB) keeps probes near-cache while
+     * still absorbing the hot working set.
      */
-    mutable BoundedMemo<std::uint64_t, std::uint32_t> size_cache_{18};
+    mutable BoundedMemo<std::uint64_t, std::uint32_t, true> size_cache_{
+        14};
     /**
      * Same idea for joint pair sizes, keyed by a mix64 chain over
      * (pair base, even version, odd version). Without it every install
      * next to a resident neighbor re-synthesizes both lines and runs
      * the joint codec again.
      */
-    mutable BoundedMemo<std::uint64_t, std::uint32_t> pair_size_cache_{
-        16};
+    mutable BoundedMemo<std::uint64_t, std::uint32_t, true>
+        pair_size_cache_{12};
     std::uint64_t lru_clock_ = 0;
     /** Resident logical lines, maintained across install's mutations. */
     std::uint64_t valid_lines_ = 0;

@@ -26,6 +26,20 @@ class LineDataSource
 
     /** Bytes of @p line at data version @p version. */
     virtual Line bytes(LineAddr line, std::uint64_t version) const = 0;
+
+    /**
+     * Bytes of the spatial pair (@p base, @p base|1) in one call;
+     * @p base must be even. Always identical to two bytes() calls —
+     * sources whose pair halves share derivation work may override
+     * this to do that work once (the pair-sizing path's batch entry).
+     */
+    virtual void
+    bytesPair(LineAddr base, std::uint64_t even_version,
+              std::uint64_t odd_version, Line out[2]) const
+    {
+        out[0] = bytes(base, even_version);
+        out[1] = bytes(base | 1, odd_version);
+    }
 };
 
 /** A trivial source: every line is all zeroes (maximally compressible). */

@@ -26,12 +26,12 @@ MapI::predictHit(std::uint64_t pc) const
 void
 MapI::update(std::uint64_t pc, bool was_hit)
 {
-    const bool predicted_hit = predictHit(pc);
+    std::uint8_t &ctr = table_[indexOf(pc)];
+    const bool predicted_hit = ctr >= kThreshold;
     ++predictions_;
     if (predicted_hit != was_hit)
         ++mispredicts_;
 
-    std::uint8_t &ctr = table_[indexOf(pc)];
     if (was_hit) {
         if (ctr < kMax)
             ++ctr;

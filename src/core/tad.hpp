@@ -10,16 +10,29 @@
  * pair compressed together shares a single tag ("shared tag" bit) and,
  * under BDI, a single base — that is what lets two lines fit when their
  * joint payload is <= 68 B. At most 28 logical lines fit in one set.
+ *
+ * Storage is structure-of-arrays in a single fixed-capacity arena
+ * block per set: the per-item fields live in lockstep packed planes
+ * (scan keys, LRU stamps, data-version payloads, payload byte counts,
+ * flag bytes) at fixed offsets inside one allocation, so each
+ * operation touches only the planes it needs and a probe stays within
+ * one heap block — the tag probe scans keys + a flag byte per rare
+ * key match, the LRU victim scan reads the lru plane alone, and the
+ * byte audit sums the data_bytes plane. The dense planes are what the
+ * simd::matchMaskU64 / simd::minIndexU64 kernels scan (see
+ * common/simd.hpp); their scalar fallbacks keep behavior bit-identical.
  */
 
 #ifndef DICE_CORE_TAD_HPP
 #define DICE_CORE_TAD_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <vector>
 
 #include "cache/sram_cache.hpp" // EvictedLine
+#include "common/log.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace dice
@@ -37,44 +50,6 @@ inline constexpr std::uint32_t kTadMaxLines = 28;
 /** Tag size of the baseline uncompressed Alloy TAD (Figure 2). */
 inline constexpr std::uint32_t kAlloyTagBytes = 8;
 
-/**
- * One resident item: either a single line or a shared-tag pair of
- * spatially-adjacent lines compressed together.
- */
-struct TadItem
-{
-    /** The line itself (single), or the even line of the pair. */
-    LineAddr base = 0;
-    bool is_pair = false;
-    /** Validity of [0]=base and [1]=base^1 (singles use slot 0 only). */
-    bool valid[2] = {false, false};
-    bool dirty[2] = {false, false};
-    /** Data-version payloads (see LineDataSource). */
-    std::uint64_t payload[2] = {0, 0};
-    /** Total compressed payload bytes of the item. */
-    std::uint16_t data_bytes = 0;
-    /** True when the item was installed via BAI indexing. */
-    bool bai = false;
-    /** LRU timestamp (larger = more recent). */
-    std::uint64_t lru = 0;
-
-    /** Number of valid logical lines in the item. */
-    std::uint32_t
-    lineCount() const
-    {
-        return (valid[0] ? 1u : 0u) + (valid[1] ? 1u : 0u);
-    }
-
-    /** True when the item holds @p line. */
-    bool
-    holds(LineAddr line) const
-    {
-        if (is_pair)
-            return (line | 1) == (base | 1) && valid[line & 1];
-        return valid[0] && base == line;
-    }
-};
-
 /** Result of looking a line up within a set. */
 struct TadLookup
 {
@@ -87,9 +62,14 @@ struct TadLookup
     /** True when the spatial neighbor (line^1) is also in this set. */
     bool neighbor_present = false;
     std::uint64_t neighbor_payload = 0;
+    /**
+     * Index of the holding item when found. Valid until the set next
+     * mutates; lets touchAt()/removeAt() skip a second key scan.
+     */
+    std::uint32_t item = 0;
 };
 
-/** One compressed DRAM-cache set: items + byte/line accounting. */
+/** One compressed DRAM-cache set: packed item planes + accounting. */
 class TadSet
 {
   public:
@@ -107,6 +87,14 @@ class TadSet
     {
     }
 
+    // The arena block makes the set move-only by default; SCC
+    // fill-constructs its sets from a prototype, so deep-copy too.
+    TadSet(const TadSet &other);
+    TadSet &operator=(const TadSet &other);
+    TadSet(TadSet &&) noexcept = default;
+    TadSet &operator=(TadSet &&) noexcept = default;
+    ~TadSet() = default;
+
     /**
      * Bytes currently consumed by tags + payloads. Maintained
      * incrementally: fits() runs inside every install's eviction loop,
@@ -116,6 +104,9 @@ class TadSet
 
     /** Valid logical lines resident (incremental, like bytesUsed). */
     std::uint32_t lineCount() const { return line_count_; }
+
+    /** Resident items (a shared-tag pair counts once). */
+    std::uint32_t itemCount() const { return n_; }
 
     /**
      * True when an item with @p extra_data payload bytes (plus one
@@ -130,7 +121,7 @@ class TadSet
 
     /**
      * Look up @p line; also reports a co-resident spatial neighbor.
-     * Inline (with find/contains below): these run on every cache
+     * Inline (with findIndex/contains below): these run on every cache
      * probe, and the scans are short enough that the call overhead
      * would rival the work.
      */
@@ -141,60 +132,79 @@ class TadSet
         // neighbor (they share a key; the neighbor is reported only
         // when the line itself is resident).
         TadLookup res;
-        const LineAddr neighbor = line ^ 1;
-        const std::uint64_t key = keyOf(line);
-        const TadItem *it = nullptr;
-        const TadItem *nb = nullptr;
-        for (std::size_t i = 0; i < keys_.size(); ++i) {
-            if (keys_[i] != key)
-                continue;
-            const TadItem &cand = items_[i];
-            if (!it && cand.holds(line))
-                it = &cand;
-            if (!nb && cand.holds(neighbor))
-                nb = &cand;
-            if (it && nb)
+        const std::uint32_t n = n_;
+        std::uint64_t m = simd::matchMaskU64(keys(), n, keyOf(line));
+        std::uint32_t it = n;
+        std::uint32_t nb = n;
+        for (; m != 0; m &= m - 1) {
+            const auto i = static_cast<std::uint32_t>(
+                __builtin_ctzll(m));
+            if (it == n && holdsAt(i, line))
+                it = i;
+            if (nb == n && holdsAt(i, line ^ 1))
+                nb = i;
+            if (it != n && nb != n)
                 break;
         }
-        if (!it)
+        if (it == n)
             return res;
 
-        const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
+        const std::uint8_t f = flags()[it];
+        const std::uint32_t slot =
+            (f & kPair) ? static_cast<std::uint32_t>(line & 1) : 0u;
         res.found = true;
-        res.dirty = it->dirty[slot];
-        res.bai = it->bai;
-        res.in_pair = it->is_pair;
-        res.payload = it->payload[slot];
+        res.item = it;
+        res.dirty = (f & dirtyBit(slot)) != 0;
+        res.bai = (f & kBai) != 0;
+        res.in_pair = (f & kPair) != 0;
+        res.payload = payloads()[it].p[slot];
 
-        if (nb) {
-            const std::uint32_t nslot = nb->is_pair ? (neighbor & 1) : 0;
+        if (nb != n) {
+            const std::uint8_t nf = flags()[nb];
+            const std::uint32_t nslot =
+                (nf & kPair) ? static_cast<std::uint32_t>(~line & 1)
+                             : 0u;
             res.neighbor_present = true;
-            res.neighbor_payload = nb->payload[nslot];
+            res.neighbor_payload = payloads()[nb].p[nslot];
         }
         return res;
     }
 
     /** True when @p line is resident. */
-    bool contains(LineAddr line) const { return find(line) != nullptr; }
+    bool contains(LineAddr line) const { return findIndex(line) != n_; }
 
     /** Refresh LRU state of the item holding @p line. */
     void
     touch(LineAddr line, std::uint64_t lru_stamp)
     {
-        if (TadItem *it = find(line))
-            it->lru = lru_stamp;
+        const std::uint32_t i = findIndex(line);
+        if (i != n_)
+            lru()[i] = lru_stamp;
+    }
+
+    /**
+     * Refresh LRU state of item @p item — a TadLookup::item from a
+     * lookup with no intervening mutation; skips the key re-scan.
+     */
+    void
+    touchAt(std::uint32_t item, std::uint64_t lru_stamp)
+    {
+        dice_assert(item < n_, "touchAt past live items");
+        lru()[item] = lru_stamp;
     }
 
     /** Mark a resident line dirty and replace its payload. */
     bool
     markDirty(LineAddr line, std::uint64_t payload)
     {
-        TadItem *it = find(line);
-        if (!it)
+        const std::uint32_t i = findIndex(line);
+        if (i == n_)
             return false;
-        const std::uint32_t slot = it->is_pair ? (line & 1) : 0;
-        it->dirty[slot] = true;
-        it->payload[slot] = payload;
+        const std::uint32_t slot =
+            (flags()[i] & kPair) ? static_cast<std::uint32_t>(line & 1)
+                                 : 0u;
+        flags()[i] |= dirtyBit(slot);
+        payloads()[i].p[slot] = payload;
         return true;
     }
 
@@ -205,6 +215,13 @@ class TadSet
      */
     std::optional<EvictedLine> remove(LineAddr line,
                                       std::uint32_t remaining_bytes);
+
+    /**
+     * remove() for a line whose item index is already known (a
+     * TadLookup::item with no intervening mutation): skips the scan.
+     */
+    std::optional<EvictedLine> removeAt(std::uint32_t item, LineAddr line,
+                                        std::uint32_t remaining_bytes);
 
     /**
      * Evict the least-recently-used whole item, never the item holding
@@ -228,24 +245,145 @@ class TadSet
                     std::uint64_t payload1, bool bai,
                     std::uint64_t lru_stamp);
 
-    const std::vector<TadItem> &items() const { return items_; }
+    /**
+     * Recompute byte/line accounting from the planes and check it
+     * against the incremental counters (plus per-item flag sanity).
+     * O(items) — for tests and debug sweeps, not the hot loop.
+     */
+    bool auditStorage() const;
 
   private:
-    TadItem *
-    find(LineAddr line)
+    // flags_ bit layout. Singles keep their line in slot 0 and record
+    // the address low bit in kOdd; pairs use slot = line & 1 and an
+    // always-even base, so kOdd stays clear.
+    static constexpr std::uint8_t kValid0 = 1u << 0;
+    static constexpr std::uint8_t kValid1 = 1u << 1;
+    static constexpr std::uint8_t kDirty0 = 1u << 2;
+    static constexpr std::uint8_t kDirty1 = 1u << 3;
+    static constexpr std::uint8_t kPair = 1u << 4;
+    static constexpr std::uint8_t kBai = 1u << 5;
+    static constexpr std::uint8_t kOdd = 1u << 6;
+
+    static constexpr std::uint8_t
+    validBit(std::uint32_t slot)
     {
-        const std::uint64_t key = keyOf(line);
-        for (std::size_t i = 0; i < keys_.size(); ++i) {
-            if (keys_[i] == key && items_[i].holds(line))
-                return &items_[i];
-        }
-        return nullptr;
+        return slot != 0 ? kValid1 : kValid0;
     }
 
-    const TadItem *
-    find(LineAddr line) const
+    static constexpr std::uint8_t
+    dirtyBit(std::uint32_t slot)
     {
-        return const_cast<TadSet *>(this)->find(line);
+        return slot != 0 ? kDirty1 : kDirty0;
+    }
+
+    /** Data-version payloads of slots [0]=even and [1]=odd half. */
+    struct PayloadPair
+    {
+        std::uint64_t p[2];
+    };
+
+    /**
+     * Item capacity: every item consumes at least one tag and holds at
+     * least one line, so this bound can never be exceeded.
+     */
+    std::uint32_t
+    capacity() const
+    {
+        const std::uint32_t by_tags = budget_bytes_ / tag_bytes_;
+        return by_tags < max_lines_ ? by_tags : max_lines_;
+    }
+
+    // Plane accessors into the arena block. Layout (c = capacity()):
+    // [0, 8c) keys | [8c, 16c) lru | [16c, 32c) payloads |
+    // [32c, 34c) data_bytes | [34c, 35c) flags. All plane starts are
+    // 2-byte-aligned or better for their element type.
+    std::uint64_t *keys() { return block_.get(); }
+    const std::uint64_t *keys() const { return block_.get(); }
+    std::uint64_t *lru() { return block_.get() + capacity(); }
+    const std::uint64_t *lru() const
+    {
+        return block_.get() + capacity();
+    }
+    PayloadPair *
+    payloads()
+    {
+        return reinterpret_cast<PayloadPair *>(block_.get() +
+                                               2 * capacity());
+    }
+    const PayloadPair *
+    payloads() const
+    {
+        return reinterpret_cast<const PayloadPair *>(block_.get() +
+                                                     2 * capacity());
+    }
+    std::uint16_t *
+    dataBytes()
+    {
+        return reinterpret_cast<std::uint16_t *>(block_.get() +
+                                                 4 * capacity());
+    }
+    const std::uint16_t *
+    dataBytes() const
+    {
+        return reinterpret_cast<const std::uint16_t *>(block_.get() +
+                                                       4 * capacity());
+    }
+    std::uint8_t *
+    flags()
+    {
+        return reinterpret_cast<std::uint8_t *>(dataBytes() +
+                                                capacity());
+    }
+    const std::uint8_t *
+    flags() const
+    {
+        return reinterpret_cast<const std::uint8_t *>(dataBytes() +
+                                                      capacity());
+    }
+
+    /** 64-bit words the arena block spans (35 bytes per item). */
+    std::size_t
+    blockWords() const
+    {
+        return (35u * capacity() + 7u) / 8u;
+    }
+
+    /** Allocate the arena on first insert (empty sets stay heap-free). */
+    void ensureStorage();
+
+    /** True when item @p i (whose key already matched) holds @p line. */
+    bool
+    holdsAt(std::uint32_t i, LineAddr line) const
+    {
+        const std::uint8_t f = flags()[i];
+        if (f & kPair)
+            return (f & validBit(static_cast<std::uint32_t>(line & 1))) !=
+                   0;
+        return (f & kValid0) != 0 &&
+               ((f & kOdd) != 0) == ((line & 1) != 0);
+    }
+
+    /** Index of the item holding @p line, or itemCount() when absent. */
+    std::uint32_t
+    findIndex(LineAddr line) const
+    {
+        const std::uint32_t n = n_;
+        std::uint64_t m = simd::matchMaskU64(keys(), n, keyOf(line));
+        for (; m != 0; m &= m - 1) {
+            const auto i = static_cast<std::uint32_t>(
+                __builtin_ctzll(m));
+            if (holdsAt(i, line))
+                return i;
+        }
+        return n;
+    }
+
+    /** Base line address of item @p i (even line for pairs). */
+    LineAddr
+    baseOf(std::uint32_t i) const
+    {
+        const LineAddr even = keys()[i] << 1;
+        return (flags()[i] & kOdd) ? (even | 1) : even;
     }
 
     /** Scan key of an item: a line and its pair neighbor share one. */
@@ -255,19 +393,17 @@ class TadSet
         return line >> 1;
     }
 
+    void eraseAt(std::uint32_t i);
+
     std::uint32_t budget_bytes_;
     std::uint32_t max_lines_;
     std::uint32_t tag_bytes_;
     std::uint32_t bytes_used_ = 0;
     std::uint32_t line_count_ = 0;
-    std::vector<TadItem> items_;
-    /**
-     * items_[i].base >> 1, kept in lockstep with items_. Residency
-     * scans run over this dense array (8 B per item, one compare per
-     * item) instead of striding through 48-B TadItems; only the rare
-     * key match touches the item itself.
-     */
-    std::vector<std::uint64_t> keys_;
+    /** Resident item count (live prefix length of every plane). */
+    std::uint32_t n_ = 0;
+    /** One allocation holding all five planes (see plane accessors). */
+    std::unique_ptr<std::uint64_t[]> block_;
 };
 
 } // namespace dice

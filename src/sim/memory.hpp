@@ -32,6 +32,9 @@ class MainMemory
     /** Current data version of @p line (0 if never written back). */
     std::uint64_t versionOf(LineAddr line) const;
 
+    /** Start loading @p line's version slot ahead of versionOf(). */
+    void prefetchVersion(LineAddr line) const { versions_.prefetch(line); }
+
     DramDevice &device() { return device_; }
     const DramDevice &device() const { return device_; }
 

@@ -182,6 +182,11 @@ System::fetchIntoL3(LineAddr line, Cycle when, std::uint64_t pc,
     Cycle done;
     std::uint64_t payload = 0;
 
+    // The version probe (a big flat-map lookup) is needed on every
+    // path that misses the L4, so start pulling its slot in now and
+    // hide the latency under the cache probe.
+    mem_.prefetchVersion(line);
+
     if (!l4_) {
         const DramResult mr = mem_.read(line, when);
         done = mr.done;

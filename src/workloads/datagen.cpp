@@ -35,12 +35,23 @@ DataGenerator::addRegion(LineAddr start, LineAddr end,
                          const WorkloadProfile &profile)
 {
     dice_assert(start < end, "empty data region");
+    Region reg{start, end, &profile, {}};
+    const double weights[6] = {profile.w_zero, profile.w_ptr,
+                               profile.w_int, profile.w_c36,
+                               profile.w_half, profile.w_rand};
+    double acc = 0.0;
+    for (int i = 0; i < 6; ++i) {
+        acc += weights[i];
+        reg.cum_weights[i] = acc;
+    }
+    dice_assert(acc > 0.0, "profile %s has zero class weights",
+                profile.name.c_str());
     // Keep regions_ sorted by start so lookups can binary-search.
     // Regions come from a bump allocator and never overlap.
     const auto pos = std::lower_bound(
         regions_.begin(), regions_.end(), start,
         [](const Region &r, LineAddr s) { return r.start < s; });
-    regions_.insert(pos, Region{start, end, &profile});
+    regions_.insert(pos, reg);
 }
 
 const DataGenerator::Region *
@@ -60,27 +71,23 @@ DataGenerator::regionOf(LineAddr line) const
 CompClass
 DataGenerator::pageClass(LineAddr line) const
 {
-    const Region *r = regionOf(line);
+    return regionClass(regionOf(line), line);
+}
+
+CompClass
+DataGenerator::regionClass(const Region *r, LineAddr line) const
+{
     if (!r)
         return CompClass::Rand; // Unowned space: treat as garbage.
 
-    const WorkloadProfile &p = *r->profile;
-    const double weights[6] = {p.w_zero, p.w_ptr, p.w_int,
-                               p.w_c36, p.w_half, p.w_rand};
-    double total = 0.0;
-    for (double w : weights)
-        total += w;
-    dice_assert(total > 0.0, "profile %s has zero class weights",
-                p.name.c_str());
-
+    // cum_weights was prefix-summed once at addRegion() time, so the
+    // per-line draw only scales and scans.
     const std::uint64_t page = pageOfLine(line);
     const double u =
         static_cast<double>(mix64(page, 0xC1A55ull) >> 11) * 0x1.0p-53 *
-        total;
-    double acc = 0.0;
+        r->cum_weights[5];
     for (int i = 0; i < 6; ++i) {
-        acc += weights[i];
-        if (u < acc)
+        if (u < r->cum_weights[i])
             return static_cast<CompClass>(i);
     }
     return CompClass::Rand;
@@ -202,6 +209,29 @@ Line
 DataGenerator::bytes(LineAddr line, std::uint64_t version) const
 {
     return synthesize(lineClass(line), line, version);
+}
+
+void
+DataGenerator::bytesPair(LineAddr base, std::uint64_t even_version,
+                         std::uint64_t odd_version, Line out[2]) const
+{
+    dice_assert((base & 1) == 0, "pair base must be even");
+    // The halves share their noise draw (pair-granular) and their page,
+    // and region starts are page-aligned (and hence even), so they
+    // classify identically unless the pair straddles a region's
+    // possibly mid-page *end* — then the odd half falls back to its
+    // own classification.
+    const Region *r = regionOf(base);
+    const double u =
+        static_cast<double>(mix64(base >> 1, 0x0D15Eull) >> 11) *
+        0x1.0p-53;
+    const CompClass cls =
+        u < kNoiseFraction ? CompClass::Rand : regionClass(r, base);
+    out[0] = synthesize(cls, base, even_version);
+    if (!r || (base | 1) < r->end)
+        out[1] = synthesize(cls, base | 1, odd_version);
+    else
+        out[1] = bytes(base | 1, odd_version);
 }
 
 } // namespace dice

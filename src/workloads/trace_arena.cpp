@@ -1,9 +1,12 @@
 #include "trace_arena.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+#include "common/trace_events.hpp"
 #include "common/rng.hpp"
 #include "workloads/region_plan.hpp"
 
@@ -124,6 +127,22 @@ TraceArena::evictOverBudgetLocked()
         if (victim == entries_.end())
             return;
         resident_bytes_ -= victim->second.bytes;
+        // Mark the eviction on the trace timeline: budget-driven
+        // stream drops are exactly the events that explain a sweep
+        // regenerating a trace it already paid for.
+        TraceLog &log = TraceLog::instance();
+        if (log.enabled()) {
+            std::string args = "{\"workload\": \"";
+            appendJsonEscaped(args, std::get<0>(victim->first));
+            char buf[96];
+            std::snprintf(
+                buf, sizeof buf,
+                "\", \"bytes\": %llu, \"resident_bytes\": %llu}",
+                static_cast<unsigned long long>(victim->second.bytes),
+                static_cast<unsigned long long>(resident_bytes_));
+            args += buf;
+            log.instant("arena", "arena_evict", std::move(args));
+        }
         entries_.erase(victim);
         ++evictions_;
     }

@@ -261,6 +261,56 @@ TEST(StatRegistry, IntervalSnapshotsAreMonotonicAndFrozen)
     EXPECT_EQ(jiv.array[0]->at("values").at("sys.refs").number, 100.0);
 }
 
+TEST(StatRegistry, IntervalDeltasDifferenceConsecutiveSnapshots)
+{
+    Counter refs;
+    Counter hits;
+    StatRegistry reg;
+    reg.add("sys", [&refs, &hits] {
+        StatGroup g("sys");
+        g.addCounter("refs", refs);
+        g.addCounter("hits", hits);
+        return g;
+    });
+
+    refs += 100;
+    hits += 30;
+    reg.captureInterval("warmup", 100);
+    refs += 150;
+    hits += 20;
+    reg.captureInterval("measure", 250);
+
+    // First interval differences against zero; later ones against the
+    // immediately preceding snapshot.
+    const auto d0 = reg.intervalDeltas(0);
+    const auto d1 = reg.intervalDeltas(1);
+    ASSERT_EQ(d0.size(), 2u);
+    EXPECT_EQ(d0[0].first, "sys.refs");
+    EXPECT_EQ(d0[0].second, 100.0);
+    EXPECT_EQ(d0[1].second, 30.0);
+    EXPECT_EQ(d1[0].second, 150.0);
+    EXPECT_EQ(d1[1].second, 20.0);
+
+    // JSON: every interval carries a "deltas" object alongside the
+    // cumulative "values".
+    auto doc = testjson::parse(reg.toJson());
+    const auto &jiv = doc->at("intervals");
+    ASSERT_EQ(jiv.array.size(), 2u);
+    EXPECT_EQ(jiv.array[0]->at("deltas").at("sys.refs").number, 100.0);
+    EXPECT_EQ(jiv.array[1]->at("deltas").at("sys.refs").number, 150.0);
+    EXPECT_EQ(jiv.array[1]->at("deltas").at("sys.hits").number, 20.0);
+    EXPECT_EQ(jiv.array[1]->at("values").at("sys.refs").number, 250.0);
+
+    // CSV: "<name>.delta" rows scoped to the interval's label/refs.
+    const std::string csv = reg.toCsv();
+    EXPECT_NE(csv.find("warmup,100,sys.refs.delta,100"),
+              std::string::npos);
+    EXPECT_NE(csv.find("measure,250,sys.refs.delta,150"),
+              std::string::npos);
+    EXPECT_NE(csv.find("measure,250,sys.hits.delta,20"),
+              std::string::npos);
+}
+
 TEST(StatRegistry, CsvHasHeaderFinalRowsAndIntervalRows)
 {
     Counter c;

@@ -9,10 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/trace_events.hpp"
 #include "harness.hpp"
+#include "mini_json.hpp"
 #include "workloads/packed_trace.hpp"
 #include "workloads/region_plan.hpp"
 #include "workloads/trace_arena.hpp"
@@ -166,6 +171,58 @@ TEST(TraceArena, LruEvictionUnderByteBudget)
     EXPECT_EQ(arena.stats().generations, gens_before);
     get(2); // was evicted: regenerated
     EXPECT_EQ(arena.stats().generations, gens_before + 1);
+}
+
+/**
+ * Budget-driven evictions leave instant markers ("ph":"i") on the
+ * trace-event timeline, carrying the evicted workload and its size, so
+ * an arena thrash shows up right next to the regeneration spans it
+ * causes.
+ */
+TEST(TraceArena, EvictionEmitsInstantTraceEvent)
+{
+    namespace fs = std::filesystem;
+    const fs::path trace =
+        fs::temp_directory_path() /
+        ("dice_trace_arena_evict." + std::to_string(::getpid()) +
+         ".json");
+    TraceLog::instance().setOutputForTest(trace.string());
+
+    TraceArena &arena = TraceArena::instance();
+    arena.clear();
+    arena.setByteBudget(512_MiB);
+    const auto profiles = rateProfiles("milc", 2);
+    const auto get = [&](std::uint64_t seed) {
+        return arena.acquire("milc", seed, 2, 8_MiB, 2'000, profiles, 2);
+    };
+    get(1);
+    get(2);
+    const std::uint64_t two_sets = arena.stats().resident_bytes;
+    arena.setByteBudget(two_sets - 1); // forces one eviction now
+    EXPECT_EQ(arena.stats().evictions, 1u);
+
+    ASSERT_TRUE(TraceLog::instance().flush());
+    TraceLog::instance().setOutputForTest("");
+
+    std::ifstream in(trace);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto doc = testjson::parse(ss.str());
+    fs::remove(trace);
+
+    bool saw_evict = false;
+    for (const auto &ev : doc->at("traceEvents").array) {
+        if (ev->at("name").string != "arena_evict")
+            continue;
+        saw_evict = true;
+        EXPECT_EQ(ev->at("ph").string, "i");
+        EXPECT_EQ(ev->at("s").string, "t");
+        EXPECT_EQ(ev->at("cat").string, "arena");
+        EXPECT_EQ(ev->at("args").at("workload").string, "milc");
+        EXPECT_GT(ev->at("args").at("bytes").number, 0.0);
+        EXPECT_FALSE(ev->has("dur"));
+    }
+    EXPECT_TRUE(saw_evict);
 }
 
 /**
