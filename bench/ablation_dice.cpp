@@ -19,8 +19,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE ingredient ablation", "supporting study");
 
     const SystemConfig base = configureBaseline(defaultBase());

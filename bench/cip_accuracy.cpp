@@ -16,8 +16,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("CIP accuracy vs Last-Time-Table size",
                 "DICE (ISCA'17) Section 5.3");
 

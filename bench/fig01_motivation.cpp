@@ -17,8 +17,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Limit study: doubling DRAM cache capacity / bandwidth",
                 "DICE (ISCA'17) Figure 1(f)");
 

@@ -18,8 +18,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Static indexing: TSI vs BAI vs ideal 2x caches",
                 "DICE (ISCA'17) Figure 7");
 

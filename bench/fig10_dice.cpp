@@ -16,8 +16,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Compressed DRAM cache speedup: TSI vs BAI vs DICE",
                 "DICE (ISCA'17) Figure 10");
 

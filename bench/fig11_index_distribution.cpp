@@ -18,8 +18,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE install-index distribution",
                 "DICE (ISCA'17) Figure 11");
 

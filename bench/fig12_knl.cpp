@@ -17,8 +17,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE on the KNL tags-in-ECC organization",
                 "DICE (ISCA'17) Figure 12");
 

@@ -16,8 +16,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE on non-memory-intensive workloads",
                 "DICE (ISCA'17) Figure 13");
 

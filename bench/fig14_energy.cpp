@@ -25,8 +25,9 @@ struct Agg
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Off-chip power / performance / energy / EDP",
                 "DICE (ISCA'17) Figure 14");
 

@@ -17,8 +17,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("SCC on a DRAM cache vs DICE",
                 "DICE (ISCA'17) Figure 15");
 

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <shared_mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include <chrono>
@@ -22,7 +24,11 @@
 #ifdef _WIN32
 #include <process.h>
 #else
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
 #include <unistd.h>
+extern char **environ;
 #endif
 
 namespace dice::bench
@@ -308,7 +314,576 @@ loadResult(const std::filesystem::path &path, RunResult &r)
     return parseResult(payload, r);
 }
 
+std::uint64_t
+resultDigest(const RunResult &r)
+{
+    return fnv1a(serializeResult(r));
+}
+
 } // namespace detail
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Distributed sweep engine (--serve M / --worker i/M / --batch B).
+//
+// The coordinator never sends cell data over a pipe: every worker
+// re-runs the same deterministic binary, deterministically enumerates
+// the same canonical cell vector, simulates only the indices congruent
+// to its worker id, and publishes results through the shared
+// persistent caches (bench_cache/ for RunResults, bench_cache/arena/
+// for reference streams). The coordinator then replays the batch as
+// pure cache loads in canonical order, which makes its stdout, golden
+// digests, and merged document byte-identical to a serial run — and
+// makes worker crashes harmless, because any cell a worker failed to
+// publish is simply simulated by the coordinator during the merge.
+
+/** How this process participates in a sweep (set by initSweepMode). */
+struct SweepMode
+{
+    enum class Role
+    {
+        Serial,      ///< No flags: in-process thread pool only.
+        Coordinator, ///< --serve M: shards batches across workers.
+        Worker       ///< --worker i/M: owns one shard of one batch.
+    };
+
+    Role role = Role::Serial;
+    unsigned workers = 0;           ///< M.
+    unsigned worker_index = 0;      ///< i in [0, M); worker role only.
+    unsigned long target_batch = 0; ///< The batch a worker owns.
+    std::string self;               ///< argv[0], for re-spawning.
+    /** Original arguments minus the sweep flags (workers get these
+     *  back so binary-specific flags survive the respawn). */
+    std::vector<std::string> passthrough;
+};
+
+SweepMode &
+sweepMode()
+{
+    static SweepMode mode;
+    return mode;
+}
+
+/** Monotonic runCells batch index. Coordinator and workers run the
+ *  same main(), so the same sequence numbers the same batches. */
+std::atomic<unsigned long> g_batch_counter{0};
+
+/**
+ * Canonical cell registry: every cell every runCells batch has seen,
+ * deduplicated, in first-appearance order. Identical across roles
+ * (the enumeration is deterministic), so "index in this vector" is a
+ * cross-process cell identity and the merged document's row order.
+ */
+struct CellRecord
+{
+    std::string workload;
+    SystemConfig config;
+    std::string cache_key;
+};
+
+struct CellRegistry
+{
+    std::mutex mu;
+    std::vector<CellRecord> order;
+    std::unordered_set<std::string> seen;
+};
+
+CellRegistry &
+cellRegistry()
+{
+    static CellRegistry reg;
+    return reg;
+}
+
+void
+registerCells(const std::vector<const SimCell *> &work)
+{
+    CellRegistry &reg = cellRegistry();
+    std::lock_guard lock(reg.mu);
+    for (const SimCell *c : work) {
+        if (reg.seen.insert(c->workload + "|" + c->cache_key).second)
+            reg.order.push_back(
+                CellRecord{c->workload, c->config, c->cache_key});
+    }
+}
+
+/** Worker-product directory (heartbeats, per-cell docs, summaries). */
+std::filesystem::path
+resultsDir()
+{
+    const std::string env = sweepResultsDir();
+    if (!env.empty())
+        return env;
+    return cacheDir() / "results";
+}
+
+/** Crash- and race-safe small-file write (temp + atomic rename). */
+bool
+atomicWriteFile(const std::filesystem::path &path,
+                const std::string &content)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::filesystem::path tmp = path;
+    tmp += ".tmp." + std::to_string(static_cast<long>(getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return false;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * One cell as a JSON object: identity, golden digest, and every
+ * RunResult field. Rendered only from the (cache-round-trip-exact)
+ * RunResult — never from the StatRegistry, whose process-global
+ * trace_arena group depends on execution order — so serial and
+ * distributed runs render identical bytes.
+ */
+std::string
+resultJson(const std::string &workload, const std::string &org,
+           const RunResult &r)
+{
+    std::string out = "{\"workload\": \"";
+    appendJsonEscaped(out, workload);
+    out += "\", \"org\": \"";
+    appendJsonEscaped(out, org);
+    out += "\", \"digest\": ";
+    out += std::to_string(detail::resultDigest(r));
+    out += ", \"stats\": {";
+
+    bool first = true;
+    const auto u64 = [&out, &first](const char *name, std::uint64_t v) {
+        out += first ? "\"" : ", \"";
+        first = false;
+        out += name;
+        out += "\": ";
+        out += std::to_string(v);
+    };
+    const auto num = [&out, &first](const char *name, double v) {
+        out += first ? "\"" : ", \"";
+        first = false;
+        out += name;
+        out += "\": ";
+        appendJsonNumber(out, v);
+    };
+    u64("cycles", r.cycles);
+    u64("instructions", r.instructions);
+    num("ipc", r.ipc);
+    num("l3_hit_rate", r.l3_hit_rate);
+    num("l4_hit_rate", r.l4_hit_rate);
+    u64("l4_reads", r.l4_reads);
+    u64("l4_extra_lines", r.l4_extra_lines);
+    u64("l4_second_probes", r.l4_second_probes);
+    num("cip_read_accuracy", r.cip_read_accuracy);
+    num("cip_write_accuracy", r.cip_write_accuracy);
+    num("mapi_accuracy", r.mapi_accuracy);
+    num("frac_invariant", r.frac_invariant);
+    num("frac_bai", r.frac_bai);
+    num("frac_tsi", r.frac_tsi);
+    num("avg_valid_lines", r.avg_valid_lines);
+    u64("l4_bytes", r.l4_bytes);
+    u64("mem_bytes", r.mem_bytes);
+    num("avg_miss_latency", r.avg_miss_latency);
+    num("energy_l4_nj", r.energy.l4_nj);
+    num("energy_mem_nj", r.energy.mem_nj);
+    num("energy_background_nj", r.energy.background_nj);
+    num("energy_total_nj", r.energy.total_nj);
+    num("energy_avg_power_w", r.energy.avg_power_w);
+    num("energy_edp", r.energy.edp);
+    num("energy_seconds", r.energy.seconds);
+    out += ", \"core_cycles\": [";
+    for (std::size_t i = 0; i < r.core_cycles.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(r.core_cycles[i]);
+    }
+    out += "]}}";
+    return out;
+}
+
+std::string
+workerFile(unsigned index, const char *suffix)
+{
+    return "worker" + std::to_string(index) + suffix;
+}
+
+/** Cross-batch totals of what worker processes reported (the
+ *  coordinator's own arena counters are tracked by the arena). */
+struct SweepTotals
+{
+    std::uint64_t worker_cells = 0;
+    std::uint64_t worker_generations = 0;
+    std::uint64_t worker_disk_hits = 0;
+    std::uint64_t worker_spills = 0;
+};
+
+SweepTotals &
+sweepTotals()
+{
+    static SweepTotals totals;
+    return totals;
+}
+
+#ifndef _WIN32
+
+void
+writeHeartbeat(unsigned long batch, std::size_t done, std::size_t total)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "batch %lu done %zu total %zu\n",
+                  batch, done, total);
+    atomicWriteFile(resultsDir() /
+                        workerFile(sweepMode().worker_index, ".heartbeat"),
+                    buf);
+}
+
+/** Sum of all live worker heartbeats for @p batch. */
+void
+readHeartbeats(unsigned workers, unsigned long batch, std::size_t &done,
+               std::size_t &total)
+{
+    done = total = 0;
+    for (unsigned i = 0; i < workers; ++i) {
+        std::ifstream in(resultsDir() / workerFile(i, ".heartbeat"));
+        if (!in)
+            continue;
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        unsigned long b = 0;
+        std::size_t d = 0, t = 0;
+        if (std::sscanf(content.c_str(), "batch %lu done %zu total %zu",
+                        &b, &d, &t) == 3 &&
+            b == batch) {
+            done += d;
+            total += t;
+        }
+    }
+}
+
+/** The coordinator's single aggregated progress line (stderr). */
+void
+printSweepProgress(unsigned long batch, std::size_t done,
+                   std::size_t total, unsigned workers,
+                   std::size_t alive, bool final_line)
+{
+    const bool tty = isatty(fileno(stderr)) != 0;
+    std::fprintf(stderr,
+                 "%s[sweep] batch %lu: %zu/%zu cells | %u workers, "
+                 "%zu alive%s",
+                 tty ? "\r" : "", batch, done, total, workers, alive,
+                 tty ? (final_line ? "\n" : "") : "\n");
+    std::fflush(stderr);
+}
+
+pid_t
+spawnWorker(unsigned index, unsigned long batch)
+{
+    const SweepMode &m = sweepMode();
+    std::vector<std::string> args;
+    args.push_back(m.self);
+    args.insert(args.end(), m.passthrough.begin(), m.passthrough.end());
+    args.push_back("--worker");
+    args.push_back(std::to_string(index) + "/" +
+                   std::to_string(m.workers));
+    args.push_back("--batch");
+    args.push_back(std::to_string(batch));
+
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    // Workers would duplicate the coordinator's stdout tables; their
+    // real output is the shared caches and the results directory.
+    posix_spawn_file_actions_t fa;
+    posix_spawn_file_actions_init(&fa);
+    posix_spawn_file_actions_addopen(&fa, STDOUT_FILENO, "/dev/null",
+                                     O_WRONLY, 0);
+    pid_t pid = -1;
+    const int rc =
+        posix_spawnp(&pid, m.self.c_str(), &fa, nullptr, argv.data(),
+                     environ);
+    posix_spawn_file_actions_destroy(&fa);
+    if (rc != 0) {
+        dice_warn("sweep: cannot spawn worker %u (%s); the coordinator "
+                  "absorbs its shard",
+                  index, std::strerror(rc));
+        return -1;
+    }
+    return pid;
+}
+
+/** Fold finished workers' summary files into the cross-batch totals
+ *  (consumed on read so a later batch never double-counts). */
+void
+accumulateWorkerSummaries(unsigned workers)
+{
+    SweepTotals &totals = sweepTotals();
+    for (unsigned i = 0; i < workers; ++i) {
+        const std::filesystem::path path =
+            resultsDir() / workerFile(i, ".summary");
+        std::ifstream in(path);
+        if (!in)
+            continue;
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        unsigned long batch = 0;
+        unsigned long long cells = 0, gens = 0, disk = 0, spills = 0;
+        if (std::sscanf(content.c_str(),
+                        "batch %lu cells %llu generations %llu "
+                        "disk_hits %llu spills %llu",
+                        &batch, &cells, &gens, &disk, &spills) == 5) {
+            totals.worker_cells += cells;
+            totals.worker_generations += gens;
+            totals.worker_disk_hits += disk;
+            totals.worker_spills += spills;
+        }
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+}
+
+#endif // !_WIN32
+
+/**
+ * The machine-readable sweep summary (trace-generation accounting for
+ * the whole run, workers included). Not part of the byte-identical
+ * contract — it reports *how* the run executed, which legitimately
+ * differs between serial and sharded runs; CI uses it to prove a warm
+ * arena rerun generated zero streams.
+ */
+void
+writeSweepSummary()
+{
+    const TraceArena::Stats arena = TraceArena::instance().stats();
+    const SweepTotals &totals = sweepTotals();
+    std::string out = "{\n \"batches\": ";
+    out += std::to_string(g_batch_counter.load());
+    out += ",\n \"cells\": ";
+    {
+        CellRegistry &reg = cellRegistry();
+        std::lock_guard lock(reg.mu);
+        out += std::to_string(reg.order.size());
+    }
+    out += ",\n \"coordinator\": {\"generations\": ";
+    out += std::to_string(arena.generations);
+    out += ", \"disk_hits\": ";
+    out += std::to_string(arena.disk_hits);
+    out += ", \"spills\": ";
+    out += std::to_string(arena.spills);
+    out += "},\n \"workers\": {\"cells\": ";
+    out += std::to_string(totals.worker_cells);
+    out += ", \"generations\": ";
+    out += std::to_string(totals.worker_generations);
+    out += ", \"disk_hits\": ";
+    out += std::to_string(totals.worker_disk_hits);
+    out += ", \"spills\": ";
+    out += std::to_string(totals.worker_spills);
+    out += "},\n \"total_generations\": ";
+    out += std::to_string(arena.generations + totals.worker_generations);
+    out += "\n}\n";
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir(), ec);
+    atomicWriteFile(resultsDir() / "sweep_summary.json", out);
+}
+
+/**
+ * Rewrite the canonical merged document (DICE_SWEEP_MERGED) from the
+ * cell registry after a batch. Every row is a memo/cache hit by now,
+ * so this costs one JSON render. Cumulative: the file always covers
+ * every cell any batch so far has run.
+ */
+void
+writeSweepOutputs()
+{
+    const std::string merged = sweepMergedPath();
+    if (!merged.empty()) {
+        std::vector<CellRecord> order;
+        {
+            CellRegistry &reg = cellRegistry();
+            std::lock_guard lock(reg.mu);
+            order = reg.order;
+        }
+        std::string out = "{\"version\": 1, \"cells\": [";
+        bool first = true;
+        for (const CellRecord &c : order) {
+            const RunResult &r =
+                runWorkload(c.workload, c.config, c.cache_key);
+            out += first ? "\n " : ",\n ";
+            first = false;
+            out += resultJson(c.workload, c.cache_key, r);
+        }
+        out += "\n]}\n";
+        if (!atomicWriteFile(merged, out))
+            dice_warn("sweep: cannot write DICE_SWEEP_MERGED=%s",
+                      merged.c_str());
+    }
+    if (sweepMode().role == SweepMode::Role::Coordinator ||
+        !sweepResultsDir().empty())
+        writeSweepSummary();
+}
+
+/** The classic engine: a benchJobs()-sized in-process thread pool. */
+void
+runCellsSerial(const std::vector<const SimCell *> &work,
+               bool progress_allowed)
+{
+    const bool progress = progress_allowed && progressEnabled();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> done{0};
+    parallelFor(work.size(), benchJobs(),
+                [&work, &done, progress, t0](std::size_t i) {
+        runWorkload(work[i]->workload, work[i]->config,
+                    work[i]->cache_key);
+        if (progress) {
+            const std::size_t d =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            printProgress(d, work.size(), elapsed);
+        }
+    });
+}
+
+#ifndef _WIN32
+
+/**
+ * Worker role: batches before the target were already merged into the
+ * persistent cache by the coordinator, so they replay as loads; the
+ * target batch simulates only this worker's shard (canonical index
+ * congruent to worker_index mod M), streams per-cell documents and
+ * heartbeats into the results directory, then exits before the bench
+ * main can print anything or touch later batches.
+ */
+void
+runCellsWorker(const std::vector<const SimCell *> &work,
+               unsigned long batch)
+{
+    const SweepMode &m = sweepMode();
+    if (batch != m.target_batch) {
+        runCellsSerial(work, /*progress_allowed=*/false);
+        return;
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir(), ec);
+    std::vector<const SimCell *> mine;
+    for (std::size_t i = m.worker_index; i < work.size();
+         i += m.workers)
+        mine.push_back(work[i]);
+
+    std::atomic<std::size_t> done{0};
+    writeHeartbeat(batch, 0, mine.size());
+    parallelFor(mine.size(), benchJobs(),
+                [&mine, &done, batch](std::size_t i) {
+        const SimCell *c = mine[i];
+        const RunResult &r =
+            runWorkload(c->workload, c->config, c->cache_key);
+        atomicWriteFile(
+            resultsDir() /
+                (sanitizeFileStem(c->workload + "_" + c->cache_key) +
+                 ".cell.json"),
+            resultJson(c->workload, c->cache_key, r) + "\n");
+        writeHeartbeat(batch,
+                       done.fetch_add(1, std::memory_order_relaxed) + 1,
+                       mine.size());
+    });
+
+    const TraceArena::Stats arena = TraceArena::instance().stats();
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "batch %lu cells %zu generations %llu disk_hits %llu "
+                  "spills %llu\n",
+                  batch, mine.size(),
+                  static_cast<unsigned long long>(arena.generations),
+                  static_cast<unsigned long long>(arena.disk_hits),
+                  static_cast<unsigned long long>(arena.spills));
+    atomicWriteFile(resultsDir() / workerFile(m.worker_index, ".summary"),
+                    buf);
+    if (TraceLog::instance().enabled())
+        TraceLog::instance().flush();
+    std::exit(0);
+}
+
+/**
+ * Coordinator role: shard the batch across M re-spawned workers, wait
+ * on them while aggregating their heartbeats into one progress line,
+ * then merge by replaying the batch as cache loads in canonical order
+ * (simulating locally anything a worker failed to publish).
+ */
+void
+runCellsCoordinator(const std::vector<const SimCell *> &work,
+                    unsigned long batch)
+{
+    const SweepMode &m = sweepMode();
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir(), ec);
+    for (unsigned i = 0; i < m.workers; ++i)
+        std::filesystem::remove(resultsDir() /
+                                    workerFile(i, ".heartbeat"),
+                                ec);
+
+    std::vector<pid_t> pids;
+    for (unsigned i = 0; i < m.workers; ++i) {
+        const pid_t pid = spawnWorker(i, batch);
+        if (pid > 0)
+            pids.push_back(pid);
+    }
+
+    const bool progress = progressEnabled();
+    std::vector<bool> reaped(pids.size(), false);
+    std::size_t alive = pids.size();
+    while (alive > 0) {
+        for (std::size_t i = 0; i < pids.size(); ++i) {
+            if (reaped[i])
+                continue;
+            int status = 0;
+            if (waitpid(pids[i], &status, WNOHANG) == pids[i]) {
+                reaped[i] = true;
+                --alive;
+                if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                    dice_warn("sweep: worker %zu died; its shard falls "
+                              "back to the coordinator",
+                              i);
+            }
+        }
+        if (progress) {
+            std::size_t done = 0, total = 0;
+            readHeartbeats(m.workers, batch, done, total);
+            printSweepProgress(batch, done,
+                               total != 0 ? total : work.size(),
+                               m.workers, alive, alive == 0);
+        }
+        if (alive > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+    }
+
+    for (const SimCell *c : work)
+        runWorkload(c->workload, c->config, c->cache_key);
+    accumulateWorkerSummaries(m.workers);
+}
+
+#endif // !_WIN32
+
+} // namespace
 
 SystemConfig
 defaultBase()
@@ -470,9 +1045,76 @@ runWorkload(const std::string &workload, const SystemConfig &config,
 }
 
 void
+initSweepMode(int argc, char **argv)
+{
+    SweepMode &m = sweepMode();
+    m = SweepMode{};
+    if (argc > 0 && argv[0] != nullptr)
+        m.self = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i] != nullptr ? argv[i] : "";
+        if (arg == "--serve" && i + 1 < argc) {
+            m.role = SweepMode::Role::Coordinator;
+            m.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--worker" && i + 1 < argc) {
+            m.role = SweepMode::Role::Worker;
+            char *end = nullptr;
+            m.worker_index = static_cast<unsigned>(
+                std::strtoul(argv[++i], &end, 10));
+            m.workers =
+                end != nullptr && *end == '/'
+                    ? static_cast<unsigned>(
+                          std::strtoul(end + 1, nullptr, 10))
+                    : 0;
+        } else if (arg == "--batch" && i + 1 < argc) {
+            m.target_batch = std::strtoul(argv[++i], nullptr, 10);
+        } else {
+            m.passthrough.push_back(arg);
+        }
+    }
+
+    if (m.role == SweepMode::Role::Coordinator && m.workers < 2) {
+        // One worker re-running the whole batch is pure overhead.
+        m.role = SweepMode::Role::Serial;
+    }
+    if (m.role == SweepMode::Role::Worker &&
+        (m.workers == 0 || m.worker_index >= m.workers)) {
+        dice_warn("sweep: bad --worker i/M spec; running serially");
+        m.role = SweepMode::Role::Serial;
+    }
+#ifdef _WIN32
+    if (m.role != SweepMode::Role::Serial) {
+        dice_warn("sweep: --serve/--worker are POSIX-only; "
+                  "running serially");
+        m.role = SweepMode::Role::Serial;
+    }
+#else
+    if (m.role == SweepMode::Role::Coordinator && !cacheEnabled()) {
+        dice_warn("sweep: --serve shares work through the persistent "
+                  "cache; unset DICE_BENCH_NO_CACHE. Running serially");
+        m.role = SweepMode::Role::Serial;
+    }
+    if (m.role == SweepMode::Role::Worker) {
+        // Per-worker Chrome trace documents; initSweepMode runs before
+        // anything constructs the TraceLog, so the env is still live.
+        const char *env = std::getenv("DICE_TRACE_OUT");
+        if (env != nullptr && env[0] != '\0') {
+            const std::string path =
+                std::string(env) + ".worker" +
+                std::to_string(m.worker_index);
+            setenv("DICE_TRACE_OUT", path.c_str(), 1);
+        }
+    }
+#endif
+}
+
+void
 runCells(const std::vector<SimCell> &cells)
 {
-    // Dedupe by memo key so a racing pair never simulates twice.
+    // Dedupe by memo key so a racing pair never simulates twice. The
+    // resulting first-appearance order is the batch's canonical cell
+    // order, shared by every role of a distributed sweep.
     std::unordered_set<std::string> seen;
     std::vector<const SimCell *> work;
     work.reserve(cells.size());
@@ -480,23 +1122,24 @@ runCells(const std::vector<SimCell> &cells)
         if (seen.insert(c.workload + "|" + c.cache_key).second)
             work.push_back(&c);
     }
-    const bool progress = progressEnabled();
-    const auto t0 = std::chrono::steady_clock::now();
-    std::atomic<std::size_t> done{0};
-    parallelFor(work.size(), benchJobs(),
-                [&work, &done, progress, t0](std::size_t i) {
-        runWorkload(work[i]->workload, work[i]->config,
-                    work[i]->cache_key);
-        if (progress) {
-            const std::size_t d =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-            printProgress(d, work.size(), elapsed);
-        }
-    });
+    registerCells(work);
+    const unsigned long batch = g_batch_counter.fetch_add(1);
+
+    const SweepMode &m = sweepMode();
+#ifndef _WIN32
+    if (m.role == SweepMode::Role::Worker) {
+        runCellsWorker(work, batch); // exits after its target batch
+        return;
+    }
+    if (m.role == SweepMode::Role::Coordinator)
+        runCellsCoordinator(work, batch);
+    else
+        runCellsSerial(work, /*progress_allowed=*/true);
+#else
+    (void)batch;
+    runCellsSerial(work, /*progress_allowed=*/true);
+#endif
+    writeSweepOutputs();
 }
 
 void
@@ -511,7 +1154,8 @@ runSweep(const std::vector<std::string> &workloads,
     }
     runCells(cells);
     // Make the Chrome trace durable after every sweep, not only at
-    // process exit: each flush rewrites the complete document.
+    // process exit: each flush appends the new events and re-closes
+    // the document, so the file stays valid at every point.
     if (TraceLog::instance().enabled())
         TraceLog::instance().flush();
 }

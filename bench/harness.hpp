@@ -88,6 +88,26 @@ struct OrgCell
 unsigned benchJobs();
 
 /**
+ * Enable the distributed sweep engine from the command line. Every
+ * bench main calls this first; with no recognized flags it is a no-op
+ * and the binary runs serially (in-process thread pool only).
+ *
+ *  --serve M     Coordinator: each runCells batch is sharded across M
+ *                re-spawned copies of this binary (posix_spawn), which
+ *                stream per-cell results into <cache>/results/ and the
+ *                shared persistent caches. The coordinator merges in
+ *                canonical cell order, so its stdout and merged
+ *                documents are byte-identical to a serial run.
+ *  --worker i/M  Worker i of M (spawned by --serve; not for hand use).
+ *  --batch B     The runCells batch index a worker owns.
+ *
+ * Related environment: DICE_SWEEP_RESULTS overrides the results
+ * directory, DICE_SWEEP_MERGED names a canonical merged JSON document
+ * written (serially or distributed) after every batch.
+ */
+void initSweepMode(int argc, char **argv);
+
+/**
  * Simulate every cell (deduplicated by workload|cache_key) across a
  * benchJobs()-sized thread pool, populating both memoization layers.
  * Results are bit-identical to a serial run: each cell's System is
@@ -153,6 +173,14 @@ void saveResult(const std::filesystem::path &path, const RunResult &r);
  * truncated, corrupted, or checksum-mismatching files.
  */
 bool loadResult(const std::filesystem::path &path, RunResult &r);
+
+/**
+ * Stable golden digest of a result: FNV-1a over its canonical
+ * serialization. Identical across processes and across cache
+ * round-trips, so a distributed sweep can be diffed against a serial
+ * one digest-by-digest.
+ */
+std::uint64_t resultDigest(const RunResult &r);
 
 } // namespace detail
 

@@ -17,8 +17,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE insertion-threshold sensitivity",
                 "DICE (ISCA'17) Table 4");
 

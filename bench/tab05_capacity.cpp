@@ -16,8 +16,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Effective capacity of the compressed DRAM cache",
                 "DICE (ISCA'17) Table 5");
 

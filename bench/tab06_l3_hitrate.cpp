@@ -15,8 +15,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("Effect of DICE on L3 hit rate",
                 "DICE (ISCA'17) Table 6");
 

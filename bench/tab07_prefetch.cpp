@@ -18,8 +18,9 @@ using namespace dice;
 using namespace dice::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE vs wider fetch and next-line prefetch",
                 "DICE (ISCA'17) Table 7");
 

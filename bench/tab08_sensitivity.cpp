@@ -54,8 +54,9 @@ withDoubleBandwidth(SystemConfig cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initSweepMode(argc, argv);
     printHeader("DICE sensitivity to L4 capacity / bandwidth / latency",
                 "DICE (ISCA'17) Table 8");
 

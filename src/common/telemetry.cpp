@@ -294,6 +294,18 @@ progressEnabled()
 }
 
 std::string
+sweepResultsDir()
+{
+    return envOr("DICE_SWEEP_RESULTS", "");
+}
+
+std::string
+sweepMergedPath()
+{
+    return envOr("DICE_SWEEP_MERGED", "");
+}
+
+std::string
 sanitizeFileStem(const std::string &name)
 {
     std::string out;

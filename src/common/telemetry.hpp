@@ -129,6 +129,15 @@ bool decisionTraceEnabled();
 /** DICE_PROGRESS=1: bench-harness heartbeat/progress line. */
 bool progressEnabled();
 
+/** DICE_SWEEP_RESULTS: directory for distributed-sweep worker output
+ *  (per-cell docs, heartbeats, summaries). "" = harness default
+ *  (<bench cache dir>/results). */
+std::string sweepResultsDir();
+
+/** DICE_SWEEP_MERGED: path for the canonical merged sweep document
+ *  ("" = not written). */
+std::string sweepMergedPath();
+
 /** Make @p name safe as a file stem ([A-Za-z0-9._-], rest -> '_'). */
 std::string sanitizeFileStem(const std::string &name);
 

@@ -103,21 +103,29 @@ TraceLog::pendingEvents() const
 bool
 TraceLog::flush()
 {
-    std::vector<Event> events;
-    std::string path;
-    {
-        std::lock_guard lock(mu_);
-        if (!enabled_)
+    std::lock_guard lock(mu_);
+    if (!enabled_)
+        return false;
+
+    // Incremental append: the file holds a complete document after
+    // every flush (a sweep can flush after each batch and a crash
+    // loses only the tail), but each flush only renders the events
+    // recorded since the previous one and re-writes the trailing
+    // "\n]}\n" — total flush cost is O(events), not O(events²).
+    if (!out_.is_open()) {
+        out_.open(path_, std::ios::binary | std::ios::trunc);
+        if (!out_) {
+            std::fprintf(stderr,
+                         "trace_events: cannot write DICE_TRACE_OUT=%s\n",
+                         path_.c_str());
             return false;
-        events = events_; // keep: each flush rewrites the full document
-        path = path_;
+        }
+        out_ << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+        body_end_ = static_cast<std::uint64_t>(out_.tellp());
+        wrote_event_ = false;
     }
 
-    // Every flush renders every event recorded so far, so the output
-    // file is a complete, valid document at any point — a sweep can
-    // flush after each batch and a crash loses only the tail.
     std::string out;
-    out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
     const long pid =
 #ifdef _WIN32
         static_cast<long>(_getpid());
@@ -125,8 +133,8 @@ TraceLog::flush()
         static_cast<long>(getpid());
 #endif
     char buf[160];
-    bool first = true;
-    for (const Event &ev : events) {
+    bool first = !wrote_event_;
+    for (const Event &ev : events_) {
         out += first ? "\n" : ",\n";
         first = false;
         out += " {\"name\": \"";
@@ -157,17 +165,17 @@ TraceLog::flush()
         }
         out += '}';
     }
+    if (!events_.empty())
+        wrote_event_ = true;
+    events_.clear();
     out += "\n]}\n";
 
-    std::ofstream file(path, std::ios::trunc);
-    if (!file) {
-        std::fprintf(stderr,
-                     "trace_events: cannot write DICE_TRACE_OUT=%s\n",
-                     path.c_str());
-        return false;
-    }
-    file << out;
-    return static_cast<bool>(file);
+    out_.seekp(static_cast<std::streamoff>(body_end_));
+    out_.write(out.data(), static_cast<std::streamsize>(out.size()));
+    // The terminator is 4 bytes; the next flush overwrites it in place.
+    body_end_ = static_cast<std::uint64_t>(out_.tellp()) - 4;
+    out_.flush();
+    return static_cast<bool>(out_);
 }
 
 void
@@ -177,6 +185,11 @@ TraceLog::setOutputForTest(const std::string &path)
     path_ = path;
     enabled_ = !path.empty();
     events_.clear();
+    if (out_.is_open())
+        out_.close();
+    out_.clear();
+    body_end_ = 0;
+    wrote_event_ = false;
 }
 
 TraceSpan::TraceSpan(const char *cat, std::string name,

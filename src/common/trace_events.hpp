@@ -4,8 +4,12 @@
  *
  * The process-wide TraceLog collects complete ("ph":"X") events —
  * spans with a start timestamp and a duration — and writes them as one
- * trace-event JSON document on flush. The bench harness wraps each
- * sweep cell's generate/replay/simulate phases in TraceSpans, so a
+ * trace-event JSON document. Flushing is incremental: each flush
+ * appends only the events recorded since the previous one and then
+ * re-writes the closing "]}"'s position, so the output file is a
+ * complete, valid document after every flush while total flush cost
+ * stays O(events), not O(events²). The bench harness wraps each sweep
+ * cell's generate/replay/simulate phases in TraceSpans, so a
  * fig10-style run produces a per-worker timeline where load imbalance
  * and arena contention are directly visible.
  *
@@ -20,6 +24,7 @@
 #define DICE_COMMON_TRACE_EVENTS_HPP
 
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -63,13 +68,14 @@ class TraceLog
     void instant(const char *cat, std::string name,
                  std::string args_json = {});
 
-    /** Events recorded so far. */
+    /** Events recorded since the last flush. */
     std::size_t pendingEvents() const;
 
     /**
-     * Write every event recorded so far to the output path as one
-     * complete trace-event JSON document (repeatable: each flush
-     * rewrites the whole file). False on I/O failure or when disabled.
+     * Append every event recorded since the previous flush to the
+     * output document and re-close it, leaving a complete, valid
+     * trace-event JSON file (repeatable; the first flush writes the
+     * header). False on I/O failure or when disabled.
      */
     bool flush();
 
@@ -93,10 +99,17 @@ class TraceLog
     };
 
     mutable std::mutex mu_;
-    std::vector<Event> events_;
+    std::vector<Event> events_; ///< Recorded but not yet flushed.
     std::string path_;
     bool enabled_ = false;
     std::uint64_t epoch_ns_ = 0;
+
+    /** Open output document (first flush opens it). The terminator
+     *  "\n]}\n" lives at body_end_; the next flush seeks back there,
+     *  appends the new events, and re-writes it. */
+    std::ofstream out_;
+    std::uint64_t body_end_ = 0;
+    bool wrote_event_ = false;
 };
 
 /**

@@ -1,0 +1,353 @@
+#include "arena_store.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry.hpp"
+
+#ifdef _WIN32
+#include <io.h>
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace dice
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'I', 'C', 'E', 'A', 'R', 'N', 'A'};
+constexpr std::size_t kHeaderBytes = 32;
+
+/** Stable FNV-1a over a byte range (same scheme as the result cache). */
+std::uint64_t
+fnv1aBytes(const char *data, std::size_t size)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<std::uint8_t>(data[i]);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    out.append(buf, sizeof v);
+}
+
+long
+thisPid()
+{
+#ifdef _WIN32
+    return static_cast<long>(_getpid());
+#else
+    return static_cast<long>(getpid());
+#endif
+}
+
+std::string
+thisHost()
+{
+#ifdef _WIN32
+    const char *h = std::getenv("COMPUTERNAME");
+    return h != nullptr ? h : "unknown";
+#else
+    char buf[256] = {0};
+    if (gethostname(buf, sizeof buf - 1) != 0)
+        return "unknown";
+    return buf;
+#endif
+}
+
+/** Parse "pid <pid> host <host>" claim-file content. */
+bool
+parseClaim(const std::string &content, long &pid, std::string &host)
+{
+    std::size_t host_at = content.find(" host ");
+    if (content.rfind("pid ", 0) != 0 || host_at == std::string::npos)
+        return false;
+    pid = std::strtol(content.c_str() + 4, nullptr, 10);
+    host = content.substr(host_at + 6);
+    while (!host.empty() && (host.back() == '\n' || host.back() == '\r'))
+        host.pop_back();
+    return pid > 0 && !host.empty();
+}
+
+/** Whether a same-host pid still names a live process. */
+bool
+pidAlive(long pid)
+{
+#ifdef _WIN32
+    // No cheap liveness probe; rely on the mtime staleness fallback.
+    (void)pid;
+    return true;
+#else
+    return kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+#endif
+}
+
+/** Seconds since @p path was last written (0 on stat failure). */
+std::uint64_t
+fileAgeSeconds(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return 0;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    const auto age =
+        std::chrono::duration_cast<std::chrono::seconds>(now - mtime);
+    return age.count() > 0 ? static_cast<std::uint64_t>(age.count()) : 0;
+}
+
+} // namespace
+
+ArenaStore::ArenaStore(std::filesystem::path dir) : dir_(std::move(dir))
+{
+}
+
+std::string
+ArenaStore::fileStem(const ArenaStoreKey &key)
+{
+    std::string id = key.workload;
+    id += '|';
+    id += std::to_string(key.seed);
+    id += '|';
+    id += std::to_string(key.num_cores);
+    id += '|';
+    id += std::to_string(key.reference_capacity);
+    id += '|';
+    id += std::to_string(key.refs_per_core);
+    id += '|';
+    id += std::to_string(kFormatVersion);
+    return sanitizeFileStem(key.workload) + "." +
+           std::to_string(mix64(fnv1aBytes(id.data(), id.size())));
+}
+
+std::filesystem::path
+ArenaStore::resultPath(const ArenaStoreKey &key) const
+{
+    return dir_ / (fileStem(key) + ".trace");
+}
+
+std::filesystem::path
+ArenaStore::claimPath(const ArenaStoreKey &key) const
+{
+    return dir_ / (fileStem(key) + ".claim");
+}
+
+void
+ArenaStore::serialize(const TraceSet &set, std::string &out)
+{
+    std::string payload;
+    for (const PackedTrace &t : set.streams)
+        t.serializeTo(payload);
+
+    out.clear();
+    out.reserve(kHeaderBytes + payload.size());
+    out.append(kMagic, sizeof kMagic);
+    putU32(out, kFormatVersion);
+    putU32(out, static_cast<std::uint32_t>(set.streams.size()));
+    putU64(out, payload.size());
+    putU64(out, fnv1aBytes(payload.data(), payload.size()));
+    out += payload;
+}
+
+bool
+ArenaStore::deserialize(const char *data, std::size_t size,
+                        TraceSet &out)
+{
+    if (size < kHeaderBytes ||
+        std::memcmp(data, kMagic, sizeof kMagic) != 0)
+        return false;
+    std::uint32_t version = 0, streams = 0;
+    std::uint64_t payload_size = 0, checksum = 0;
+    std::memcpy(&version, data + 8, sizeof version);
+    std::memcpy(&streams, data + 12, sizeof streams);
+    std::memcpy(&payload_size, data + 16, sizeof payload_size);
+    std::memcpy(&checksum, data + 24, sizeof checksum);
+    if (version != kFormatVersion)
+        return false;
+    if (payload_size != size - kHeaderBytes)
+        return false;
+    const char *payload = data + kHeaderBytes;
+    if (fnv1aBytes(payload, payload_size) != checksum)
+        return false;
+
+    out.streams.clear();
+    out.streams.resize(streams);
+    std::size_t offset = 0;
+    for (PackedTrace &t : out.streams) {
+        if (!t.deserializeFrom(payload, payload_size, offset))
+            return false;
+    }
+    return offset == payload_size;
+}
+
+bool
+ArenaStore::load(const ArenaStoreKey &key,
+                 std::shared_ptr<const TraceSet> &out) const
+{
+    std::ifstream in(resultPath(key), std::ios::binary);
+    if (!in)
+        return false;
+    // One sized read, not an istreambuf_iterator slurp: spill files
+    // are tens of MB and the per-char path costs more than the
+    // deserialization itself.
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        return false;
+    in.seekg(0);
+    std::string content(static_cast<std::size_t>(size), '\0');
+    in.read(content.data(), size);
+    if (!in)
+        return false;
+
+    auto set = std::make_shared<TraceSet>();
+    if (!deserialize(content.data(), content.size(), *set))
+        return false;
+    out = std::move(set);
+    return true;
+}
+
+bool
+ArenaStore::save(const ArenaStoreKey &key, const TraceSet &set) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+
+    std::string content;
+    serialize(set, content);
+
+    // Unique temp name + atomic rename: concurrent writers never
+    // collide and readers never see a torn file (same protocol as the
+    // bench result cache).
+    static std::atomic<std::uint64_t> counter{0};
+    const std::filesystem::path path = resultPath(key);
+    std::filesystem::path tmp = path;
+    tmp += ".tmp." + std::to_string(thisPid()) + "." +
+           std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf)
+            return false;
+        outf.write(content.data(),
+                   static_cast<std::streamsize>(content.size()));
+        if (!outf)
+            return false;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+void
+ArenaStore::Claim::release()
+{
+    if (path_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    path_.clear();
+}
+
+std::uint64_t
+ArenaStore::staleClaimSeconds()
+{
+    if (const char *env = std::getenv("DICE_ARENA_CLAIM_STALE_S"))
+        return std::strtoull(env, nullptr, 10);
+    return 600;
+}
+
+bool
+ArenaStore::tryClaim(const ArenaStoreKey &key, Claim &claim) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const std::filesystem::path path = claimPath(key);
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+#ifdef _WIN32
+        // No O_EXCL-equivalent portability shim is worth it here: the
+        // distributed sweep path is POSIX-only, so on Windows every
+        // process just generates its own copy.
+        return true;
+#else
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            const std::string body = "pid " + std::to_string(thisPid()) +
+                                     " host " + thisHost() + "\n";
+            // A short or failed write still leaves a valid claim file;
+            // its content only feeds liveness heuristics.
+            (void)!::write(fd, body.data(), body.size());
+            ::close(fd);
+            claim.path_ = path;
+            return true;
+        }
+        if (errno != EEXIST)
+            return true; // unclaimable dir (read-only?): just generate
+
+        if (!claimHolderAlive(key)) {
+            dice_warn("arena: breaking stale claim %s",
+                      path.string().c_str());
+            std::filesystem::remove(path, ec);
+            continue; // retake via O_EXCL so breakers cannot race
+        }
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+ArenaStore::claimHolderAlive(const ArenaStoreKey &key) const
+{
+    const std::filesystem::path path = claimPath(key);
+    std::ifstream in(path);
+    if (!in)
+        return false; // no claim file: holder finished or died cleanly
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+
+    long pid = 0;
+    std::string host;
+    if (parseClaim(content, pid, host)) {
+        if (host == thisHost() && !pidAlive(pid))
+            return false;
+    }
+    // Shared-filesystem fallback: a claim from another host (or an
+    // unparseable one) is presumed live until it outlives the stale
+    // threshold. Generation takes seconds, so a claim this old means
+    // the holder is gone.
+    return fileAgeSeconds(path) < staleClaimSeconds();
+}
+
+} // namespace dice

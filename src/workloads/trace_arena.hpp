@@ -16,6 +16,15 @@
  * sets are LRU-evicted past a byte budget (DICE_TRACE_ARENA_BYTES;
  * callers keep shared_ptr ownership, so eviction only drops the cache
  * entry, never a stream in use).
+ *
+ * Persistence: misses fall back disk-before-generate through an
+ * ArenaStore under `bench_cache/arena/` — a stream any process on
+ * this machine (or this shared filesystem) ever generated is loaded
+ * back instead of regenerated, and freshly generated streams are
+ * spilled for everyone else. O_EXCL claim files make generation
+ * exactly-once across concurrent worker processes. Disabled together
+ * with the result cache (DICE_BENCH_NO_CACHE=1) or alone with
+ * DICE_ARENA_SPILL=0; DICE_ARENA_DIR overrides the directory.
  */
 
 #ifndef DICE_WORKLOADS_TRACE_ARENA_HPP
@@ -25,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -35,6 +45,8 @@
 
 namespace dice
 {
+
+class ArenaStore;
 
 /** All per-core streams of one (workload, seed, ...) key. */
 struct TraceSet
@@ -82,6 +94,8 @@ class TraceArena
     /** Byte budget from DICE_TRACE_ARENA_BYTES (default 512 MiB). */
     TraceArena();
 
+    ~TraceArena();
+
     /**
      * Return the streams for the key, generating them (once, even
      * under concurrent requests) on first use. @p profiles must be
@@ -99,6 +113,8 @@ class TraceArena
         std::uint64_t generations = 0; ///< Streams built from scratch.
         std::uint64_t hits = 0;        ///< Served resident or in-flight.
         std::uint64_t evictions = 0;   ///< Entries dropped by the LRU.
+        std::uint64_t disk_hits = 0;   ///< Loaded from the ArenaStore.
+        std::uint64_t spills = 0;      ///< Generated sets spilled to disk.
         std::uint64_t resident_bytes = 0;
         std::uint64_t entries = 0;
     };
@@ -119,6 +135,15 @@ class TraceArena
     /** Drop every resident entry and zero the counters (tests). */
     void clear();
 
+    /**
+     * Override the persistent store location (tests): a path pins the
+     * spill directory, an empty string disables the store, and
+     * std::nullopt restores the environment-derived default
+     * (DICE_ARENA_DIR / bench_cache/arena, gated by
+     * DICE_BENCH_NO_CACHE and DICE_ARENA_SPILL).
+     */
+    void setStoreDirForTest(std::optional<std::string> dir);
+
   private:
     using Key = std::tuple<std::string, std::uint64_t, std::uint32_t,
                            std::uint64_t, std::uint64_t>;
@@ -133,6 +158,9 @@ class TraceArena
     /** Evict LRU-complete entries until the budget holds. Locked. */
     void evictOverBudgetLocked();
 
+    /** The persistent store to use right now (null = disabled). */
+    std::unique_ptr<ArenaStore> storeForUse() const;
+
     mutable std::mutex mu_;
     std::map<Key, Entry> entries_;
     std::uint64_t budget_bytes_;
@@ -141,6 +169,10 @@ class TraceArena
     std::uint64_t generations_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t disk_hits_ = 0;
+    std::uint64_t spills_ = 0;
+    /** Test override: nullopt = env default, "" = store disabled. */
+    std::optional<std::string> store_dir_override_;
 };
 
 } // namespace dice

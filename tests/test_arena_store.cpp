@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests of the persistent trace-arena store: on-disk round-trip
+ * bit-identity, rejection (and regeneration) of corrupted, truncated,
+ * and version-mismatched files, the O_EXCL claim protocol — including
+ * stale-claim recovery and a real two-process generate-once race —
+ * and the zero-generation guarantee of a warm store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workloads/arena_store.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/trace_arena.hpp"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace dice
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory under the system temp root. */
+fs::path
+scratchDir(const std::string &tag)
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("dice_arena_store." + tag + "." + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::vector<WorkloadProfile>
+profilesFor(const std::string &name, std::uint32_t cores)
+{
+    return std::vector<WorkloadProfile>(cores, profileByName(name));
+}
+
+ArenaStoreKey
+keyFor(const std::string &workload, std::uint64_t seed = 7)
+{
+    return ArenaStoreKey{workload, seed, 2, 8_MiB, 2'000};
+}
+
+std::shared_ptr<const TraceSet>
+makeSet(const std::string &workload, std::uint64_t seed = 7)
+{
+    return generateTraceSet(profilesFor(workload, 2), 2, 8_MiB, seed,
+                            2'000, 2);
+}
+
+bool
+streamsEqual(const TraceSet &a, const TraceSet &b)
+{
+    if (a.streams.size() != b.streams.size())
+        return false;
+    for (std::size_t s = 0; s < a.streams.size(); ++s) {
+        const PackedTrace &x = a.streams[s];
+        const PackedTrace &y = b.streams[s];
+        if (x.size() != y.size())
+            return false;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const MemRef mx = x.at(i);
+            const MemRef my = y.at(i);
+            if (mx.line != my.line || mx.is_write != my.is_write ||
+                mx.gap_instr != my.gap_instr || mx.pc != my.pc)
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST(ArenaStore, RoundTripsBitIdentically)
+{
+    const fs::path dir = scratchDir("roundtrip");
+    ArenaStore store(dir);
+    const auto set = makeSet("mcf");
+    const ArenaStoreKey key = keyFor("mcf");
+
+    ASSERT_TRUE(store.save(key, *set));
+    ASSERT_TRUE(fs::exists(store.resultPath(key)));
+
+    std::shared_ptr<const TraceSet> loaded;
+    ASSERT_TRUE(store.load(key, loaded));
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(streamsEqual(*set, *loaded));
+    fs::remove_all(dir);
+}
+
+TEST(ArenaStore, DistinctKeysGetDistinctFiles)
+{
+    const fs::path dir = scratchDir("keys");
+    ArenaStore store(dir);
+    const ArenaStoreKey base = keyFor("mcf");
+    ArenaStoreKey seed = base;
+    seed.seed = 8;
+    ArenaStoreKey cap = base;
+    cap.reference_capacity = 16_MiB;
+    ArenaStoreKey len = base;
+    len.refs_per_core = 4'000;
+    ArenaStoreKey cores = base;
+    cores.num_cores = 4;
+
+    const std::string stem = ArenaStore::fileStem(base);
+    EXPECT_NE(stem, ArenaStore::fileStem(seed));
+    EXPECT_NE(stem, ArenaStore::fileStem(cap));
+    EXPECT_NE(stem, ArenaStore::fileStem(len));
+    EXPECT_NE(stem, ArenaStore::fileStem(cores));
+    fs::remove_all(dir);
+}
+
+TEST(ArenaStore, RejectsCorruptedTruncatedAndVersionMismatch)
+{
+    const fs::path dir = scratchDir("reject");
+    ArenaStore store(dir);
+    const auto set = makeSet("lbm");
+    const ArenaStoreKey key = keyFor("lbm");
+    ASSERT_TRUE(store.save(key, *set));
+
+    const fs::path path = store.resultPath(key);
+    std::ifstream in(path, std::ios::binary);
+    std::string good((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(good.size(), 64u);
+
+    const auto rewrite = [&path](const std::string &content) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+    };
+    std::shared_ptr<const TraceSet> loaded;
+
+    // Flipped payload byte: checksum mismatch.
+    std::string corrupt = good;
+    corrupt[good.size() / 2] =
+        static_cast<char>(corrupt[good.size() / 2] ^ 0x5A);
+    rewrite(corrupt);
+    EXPECT_FALSE(store.load(key, loaded));
+
+    // Truncated file: payload size mismatch.
+    rewrite(good.substr(0, good.size() / 2));
+    EXPECT_FALSE(store.load(key, loaded));
+
+    // Version mismatch (header byte 8 holds the low version byte).
+    std::string version = good;
+    version[8] = static_cast<char>(version[8] + 1);
+    rewrite(version);
+    EXPECT_FALSE(store.load(key, loaded));
+
+    // Wrong magic.
+    std::string magic = good;
+    magic[0] = 'X';
+    rewrite(magic);
+    EXPECT_FALSE(store.load(key, loaded));
+
+    // Empty file.
+    rewrite("");
+    EXPECT_FALSE(store.load(key, loaded));
+
+    // A fresh save repairs all of it.
+    ASSERT_TRUE(store.save(key, *set));
+    ASSERT_TRUE(store.load(key, loaded));
+    EXPECT_TRUE(streamsEqual(*set, *loaded));
+    fs::remove_all(dir);
+}
+
+/** A corrupted spill file must be regenerated through the arena (the
+ *  load fails, the miss falls back to generation, counter-verified). */
+TEST(ArenaStore, ArenaRegeneratesOverCorruptedSpill)
+{
+    const fs::path dir = scratchDir("regen");
+    TraceArena &arena = TraceArena::instance();
+    arena.clear();
+    arena.setByteBudget(512_MiB);
+    arena.setStoreDirForTest(dir.string());
+
+    const auto profiles = profilesFor("mcf", 2);
+    arena.acquire("mcf", 7, 2, 8_MiB, 2'000, profiles, 2);
+    EXPECT_EQ(arena.stats().generations, 1u);
+    EXPECT_EQ(arena.stats().spills, 1u);
+
+    // Corrupt the spilled file, then force a re-acquire by clearing
+    // the resident cache.
+    ArenaStore store(dir);
+    const fs::path path = store.resultPath(keyFor("mcf"));
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "garbage";
+    }
+    arena.clear();
+    arena.setStoreDirForTest(dir.string());
+    arena.acquire("mcf", 7, 2, 8_MiB, 2'000, profiles, 2);
+    EXPECT_EQ(arena.stats().generations, 1u);
+    EXPECT_EQ(arena.stats().disk_hits, 0u);
+    // ... and the repaired spill satisfies the next cold acquire.
+    arena.clear();
+    arena.setStoreDirForTest(dir.string());
+    arena.acquire("mcf", 7, 2, 8_MiB, 2'000, profiles, 2);
+    EXPECT_EQ(arena.stats().generations, 0u);
+    EXPECT_EQ(arena.stats().disk_hits, 1u);
+
+    arena.setStoreDirForTest("");
+    arena.clear();
+    fs::remove_all(dir);
+}
+
+/** The warm-store contract the CI leg enforces at sweep scale: a
+ *  process that finds every stream on disk generates nothing. */
+TEST(ArenaStore, WarmStoreServesWithZeroGenerations)
+{
+    const fs::path dir = scratchDir("warm");
+    TraceArena &arena = TraceArena::instance();
+    arena.clear();
+    arena.setByteBudget(512_MiB);
+    arena.setStoreDirForTest(dir.string());
+
+    const auto profiles = profilesFor("milc", 2);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        arena.acquire("milc", seed, 2, 8_MiB, 2'000, profiles, 2);
+    EXPECT_EQ(arena.stats().generations, 3u);
+    EXPECT_EQ(arena.stats().spills, 3u);
+
+    // "New process": resident entries dropped, store kept warm.
+    arena.clear();
+    arena.setStoreDirForTest(dir.string());
+    std::vector<std::shared_ptr<const TraceSet>> warm;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        warm.push_back(
+            arena.acquire("milc", seed, 2, 8_MiB, 2'000, profiles, 2));
+    EXPECT_EQ(arena.stats().generations, 0u);
+    EXPECT_EQ(arena.stats().disk_hits, 3u);
+
+    // Disk-loaded streams are the same bits a fresh generation makes.
+    EXPECT_TRUE(streamsEqual(*warm[0], *makeSet("milc", 1)));
+
+    arena.setStoreDirForTest("");
+    arena.clear();
+    fs::remove_all(dir);
+}
+
+#ifndef _WIN32
+
+TEST(ArenaStore, ClaimIsExclusiveAndReleasable)
+{
+    const fs::path dir = scratchDir("claim");
+    ArenaStore store(dir);
+    const ArenaStoreKey key = keyFor("mcf");
+
+    ArenaStore::Claim first;
+    ASSERT_TRUE(store.tryClaim(key, first));
+    ASSERT_TRUE(first.held());
+
+    ArenaStore::Claim second;
+    EXPECT_FALSE(store.tryClaim(key, second));
+    EXPECT_FALSE(second.held());
+
+    first.release();
+    EXPECT_FALSE(first.held());
+    ASSERT_TRUE(store.tryClaim(key, second));
+    EXPECT_TRUE(second.held());
+    second.release();
+    fs::remove_all(dir);
+}
+
+TEST(ArenaStore, BreaksClaimOfDeadProcess)
+{
+    const fs::path dir = scratchDir("stale");
+    ArenaStore store(dir);
+    const ArenaStoreKey key = keyFor("mcf");
+
+    // Forge a same-host claim from a pid that cannot be alive.
+    fs::create_directories(dir);
+    char host[256] = {0};
+    ASSERT_EQ(gethostname(host, sizeof host - 1), 0);
+    {
+        std::ofstream out(dir / (ArenaStore::fileStem(key) + ".claim"));
+        out << "pid 999999999 host " << host << "\n";
+    }
+    EXPECT_FALSE(store.claimHolderAlive(key));
+
+    // tryClaim must break it and take over.
+    ArenaStore::Claim claim;
+    EXPECT_TRUE(store.tryClaim(key, claim));
+    EXPECT_TRUE(claim.held());
+    claim.release();
+    fs::remove_all(dir);
+}
+
+/**
+ * The cross-process exactly-once contract, for real: two forked
+ * children race to acquire the same cold key through the same store
+ * directory. Exactly one may generate; the other must wait out the
+ * claim and load the winner's spill.
+ */
+TEST(ArenaStore, TwoProcessesGenerateOnce)
+{
+    const fs::path dir = scratchDir("race");
+
+    const auto child = [&dir]() -> int {
+        // Exit code = this child's generation count (0 or 1).
+        TraceArena &arena = TraceArena::instance();
+        arena.clear();
+        arena.setStoreDirForTest(dir.string());
+        const auto profiles = profilesFor("mcf", 2);
+        const auto set =
+            arena.acquire("mcf", 7, 2, 8_MiB, 2'000, profiles, 2);
+        if (set == nullptr || set->streams.size() != 2)
+            return 77; // sentinel: acquire itself failed
+        return static_cast<int>(arena.stats().generations);
+    };
+
+    std::vector<pid_t> pids;
+    for (int i = 0; i < 2; ++i) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0)
+            _exit(child());
+        pids.push_back(pid);
+    }
+
+    int total_generations = 0;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_NE(WEXITSTATUS(status), 77);
+        total_generations += WEXITSTATUS(status);
+    }
+    EXPECT_EQ(total_generations, 1);
+
+    // The winner's spill is valid and loadable.
+    ArenaStore store(dir);
+    std::shared_ptr<const TraceSet> loaded;
+    EXPECT_TRUE(store.load(keyFor("mcf"), loaded));
+    fs::remove_all(dir);
+}
+
+#endif // !_WIN32
+
+} // namespace
+} // namespace dice

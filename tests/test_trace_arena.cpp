@@ -124,6 +124,9 @@ TEST(TraceArena, KeyedAcquireGeneratesOncePerKey)
     TraceArena &arena = TraceArena::instance();
     arena.clear();
     arena.setByteBudget(512_MiB);
+    // Counter assertions below need real generations: a warm spill
+    // directory would turn them into disk hits.
+    arena.setStoreDirForTest("");
     const auto profiles = rateProfiles("mcf", 2);
 
     const auto a = arena.acquire("mcf", 7, 2, 8_MiB, 1'000, profiles, 2);
@@ -148,6 +151,7 @@ TEST(TraceArena, LruEvictionUnderByteBudget)
     TraceArena &arena = TraceArena::instance();
     arena.clear();
     arena.setByteBudget(512_MiB);
+    arena.setStoreDirForTest(""); // assertions count real generations
     const auto profiles = rateProfiles("milc", 2);
     const auto get = [&](std::uint64_t seed) {
         return arena.acquire("milc", seed, 2, 8_MiB, 2'000, profiles, 2);
@@ -191,6 +195,7 @@ TEST(TraceArena, EvictionEmitsInstantTraceEvent)
     TraceArena &arena = TraceArena::instance();
     arena.clear();
     arena.setByteBudget(512_MiB);
+    arena.setStoreDirForTest(""); // keep spills out of the test cwd
     const auto profiles = rateProfiles("milc", 2);
     const auto get = [&](std::uint64_t seed) {
         return arena.acquire("milc", seed, 2, 8_MiB, 2'000, profiles, 2);
@@ -240,6 +245,10 @@ TEST(TraceArena, ColdSweepGeneratesEachStreamOnce)
     TraceArena &arena = TraceArena::instance();
     arena.clear();
     arena.setByteBudget(512_MiB);
+    // Exercise the env gating: DICE_BENCH_NO_CACHE must disable the
+    // persistent spill store too, or the counters below would see
+    // disk hits on a warm machine.
+    arena.setStoreDirForTest(std::nullopt);
 
     const std::vector<std::string> workloads = {bench::rateNames()[0],
                                                 bench::rateNames()[1]};
