@@ -29,9 +29,9 @@ main(int argc, char **argv)
     SystemConfig no_extra = configureDice(defaultBase());
     no_extra.extra_line_to_l3 = false;
     SystemConfig no_pairs = configureDice(defaultBase());
-    no_pairs.l4_comp.pair_compression = false;
+    no_pairs.l4.comp.pair_compression = false;
     SystemConfig tiny_cip = configureDice(defaultBase());
-    tiny_cip.l4_comp.cip_entries = 1;
+    tiny_cip.l4.comp.cip_entries = 1;
 
     const std::vector<std::pair<std::string, const SystemConfig *>>
         orgs = {{"DICE", &full},

@@ -31,7 +31,7 @@ main(int argc, char **argv)
     std::vector<OrgCell> orgs;
     for (const std::uint32_t entries : {512u, 2048u, 8192u}) {
         SystemConfig cfg = configureDice(defaultBase());
-        cfg.l4_comp.cip_entries = entries;
+        cfg.l4.comp.cip_entries = entries;
         orgs.push_back({cfg, entries == 2048
                                  ? "dice"
                                  : "dice-ltt" + std::to_string(entries)});
@@ -42,7 +42,7 @@ main(int argc, char **argv)
                 "write acc %", "SRAM bytes");
     for (const std::uint32_t entries : {512u, 2048u, 8192u}) {
         SystemConfig cfg = configureDice(defaultBase());
-        cfg.l4_comp.cip_entries = entries;
+        cfg.l4.comp.cip_entries = entries;
         const std::string key =
             entries == 2048 ? "dice" : "dice-ltt" + std::to_string(entries);
         double racc = 0, wacc = 0;

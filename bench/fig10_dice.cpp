@@ -4,6 +4,9 @@
  * uncompressed Alloy baseline, against the 2x-capacity/2x-bandwidth
  * limit, per workload and for RATE/MIX/GAP/ALL26 geomeans.
  *
+ * Extra organization columns (e.g. banshee, touche) can be appended
+ * via DICE_BENCH_ORGS=name[,name...]; the default output is unchanged.
+ *
  * Paper result: TSI +7%, BAI +0.1%, DICE +19.0%, 2x-both +21.9%.
  */
 
@@ -30,17 +33,29 @@ main(int argc, char **argv)
     const SystemConfig dice_cfg = configureDice(defaultBase());
     const SystemConfig both = configure2xBoth(defaultBase());
 
+    const std::vector<std::string> extras = extraOrgNames();
+    std::vector<SystemConfig> extra_cfgs;
+    for (const std::string &org : extras)
+        extra_cfgs.push_back(configureOrganization(defaultBase(), org));
+
     // Batch-simulate every cell across the thread pool up front; the
     // per-cell reads below are then memoized lookups.
-    runSweep(allNames(), {{base, "base"},
-                          {tsi, "tsi"},
-                          {bai, "bai"},
-                          {dice_cfg, "dice"},
-                          {both, "2x2x"}});
+    std::vector<OrgCell> orgs = {{base, "base"},
+                                 {tsi, "tsi"},
+                                 {bai, "bai"},
+                                 {dice_cfg, "dice"},
+                                 {both, "2x2x"}};
+    for (std::size_t i = 0; i < extras.size(); ++i)
+        orgs.push_back({extra_cfgs[i], extras[i]});
+    runSweep(allNames(), orgs);
 
     std::map<std::string, double> s_tsi, s_bai, s_dice, s_both;
+    std::vector<std::map<std::string, double>> s_extra(extras.size());
 
-    printColumns({"TSI", "BAI", "DICE", "2xCap+2xBW"});
+    std::vector<std::string> columns = {"TSI", "BAI", "DICE",
+                                        "2xCap+2xBW"};
+    columns.insert(columns.end(), extras.begin(), extras.end());
+    printColumns(columns);
     std::vector<std::string> all;
     for (const auto &group : {rateNames(), mixNames(), gapNames()}) {
         for (const auto &name : group) {
@@ -49,27 +64,34 @@ main(int argc, char **argv)
             s_dice[name] =
                 speedupOver(name, base, "base", dice_cfg, "dice");
             s_both[name] = speedupOver(name, base, "base", both, "2x2x");
-            printRow(name, {s_tsi[name], s_bai[name], s_dice[name],
-                            s_both[name]});
+            std::vector<double> row = {s_tsi[name], s_bai[name],
+                                       s_dice[name], s_both[name]};
+            for (std::size_t i = 0; i < extras.size(); ++i) {
+                s_extra[i][name] = speedupOver(name, base, "base",
+                                               extra_cfgs[i], extras[i]);
+                row.push_back(s_extra[i][name]);
+            }
+            printRow(name, row);
             all.push_back(name);
         }
     }
 
+    const auto summaryRow = [&](const std::string &label,
+                                const std::vector<std::string> &names) {
+        std::vector<double> row = {geomeanOver(names, s_tsi),
+                                   geomeanOver(names, s_bai),
+                                   geomeanOver(names, s_dice),
+                                   geomeanOver(names, s_both)};
+        for (const auto &s : s_extra)
+            row.push_back(geomeanOver(names, s));
+        printRow(label, row);
+    };
+
     std::printf("\n");
-    printRow("RATE", {geomeanOver(rateNames(), s_tsi),
-                      geomeanOver(rateNames(), s_bai),
-                      geomeanOver(rateNames(), s_dice),
-                      geomeanOver(rateNames(), s_both)});
-    printRow("MIX", {geomeanOver(mixNames(), s_tsi),
-                     geomeanOver(mixNames(), s_bai),
-                     geomeanOver(mixNames(), s_dice),
-                     geomeanOver(mixNames(), s_both)});
-    printRow("GAP", {geomeanOver(gapNames(), s_tsi),
-                     geomeanOver(gapNames(), s_bai),
-                     geomeanOver(gapNames(), s_dice),
-                     geomeanOver(gapNames(), s_both)});
-    printRow("ALL26", {geomeanOver(all, s_tsi), geomeanOver(all, s_bai),
-                       geomeanOver(all, s_dice), geomeanOver(all, s_both)});
+    summaryRow("RATE", rateNames());
+    summaryRow("MIX", mixNames());
+    summaryRow("GAP", gapNames());
+    summaryRow("ALL26", all);
 
     std::printf("\nPaper (ALL26): TSI 1.07, BAI 1.001, DICE 1.190, "
                 "2xBoth 1.219\n");

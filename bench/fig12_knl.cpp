@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     const SystemConfig base = configureBaseline(defaultBase());
     SystemConfig knl = configureDice(defaultBase());
-    knl.l4_comp.knl_mode = true;
+    knl.l4.comp.knl_mode = true;
     const SystemConfig alloy_dice = configureDice(defaultBase());
 
     runSweep(allNames(),

@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     const SystemConfig base = configureBaseline(defaultBase());
     SystemConfig scc = defaultBase();
-    scc.l4_kind = L4Kind::Scc;
+    scc.l4.organization = "scc";
     const SystemConfig dice_cfg = configureDice(defaultBase());
 
     runSweep(allNames(),

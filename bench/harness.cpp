@@ -899,8 +899,7 @@ defaultBase()
     // within the scaled instruction budget.
     cfg.reference_capacity = 8_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_base.capacity = 8_MiB;
-    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.l4.base.capacity = 8_MiB;
     cfg.core.mshrs = 16;
     cfg.seed = 2017;
     return cfg;
@@ -909,15 +908,23 @@ defaultBase()
 SystemConfig
 configureBaseline(SystemConfig base)
 {
-    base.l4_kind = L4Kind::Alloy;
+    base.l4.organization = "alloy";
+    return base;
+}
+
+SystemConfig
+configureOrganization(SystemConfig base, const std::string &org)
+{
+    dice_assert(L4Registry::instance().known(org),
+                "unknown L4 organization '%s'", org.c_str());
+    base.l4.organization = org;
     return base;
 }
 
 SystemConfig
 configureCompressed(SystemConfig base, CompressionPolicy policy)
 {
-    base.l4_kind = L4Kind::Compressed;
-    base.l4_comp.policy = policy;
+    base.l4.organization = policyName(policy);
     return base;
 }
 
@@ -930,16 +937,16 @@ configureDice(SystemConfig base)
 SystemConfig
 configure2xCapacity(SystemConfig base)
 {
-    base.l4_kind = L4Kind::Alloy;
-    base.l4_base.capacity *= 2;
+    base.l4.organization = "alloy";
+    base.l4.base.capacity *= 2;
     return base;
 }
 
 SystemConfig
 configure2xBandwidth(SystemConfig base)
 {
-    base.l4_kind = L4Kind::Alloy;
-    base.l4_base.timing.channels *= 2;
+    base.l4.organization = "alloy";
+    base.l4.base.timing.channels *= 2;
     return base;
 }
 
@@ -947,6 +954,33 @@ SystemConfig
 configure2xBoth(SystemConfig base)
 {
     return configure2xBandwidth(configure2xCapacity(std::move(base)));
+}
+
+std::vector<std::string>
+extraOrgNames()
+{
+    std::vector<std::string> out;
+    const char *env = std::getenv("DICE_BENCH_ORGS");
+    if (env == nullptr || *env == '\0')
+        return out;
+    std::string cur;
+    for (const char *p = env;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty()) {
+                dice_assert(L4Registry::instance().known(cur),
+                            "DICE_BENCH_ORGS names unknown organization "
+                            "'%s'",
+                            cur.c_str());
+                out.push_back(cur);
+            }
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
 }
 
 std::vector<WorkloadProfile>

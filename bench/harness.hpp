@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compressed.hpp" // CompressionPolicy
 #include "sim/system.hpp"
 
 namespace dice::bench
@@ -64,6 +65,21 @@ SystemConfig configureDice(SystemConfig base);
 SystemConfig configure2xCapacity(SystemConfig base);
 SystemConfig configure2xBandwidth(SystemConfig base);
 SystemConfig configure2xBoth(SystemConfig base);
+
+/**
+ * SystemConfig for any L4Registry organization name ("alloy", "dice",
+ * "scc", "banshee", "touche", ...); asserts the name is registered.
+ */
+SystemConfig configureOrganization(SystemConfig base,
+                                   const std::string &org);
+
+/**
+ * Extra organization columns requested via DICE_BENCH_ORGS (a comma-
+ * separated list of registry names; default empty). fig10/fig13
+ * append these after their standard columns, so default stdout stays
+ * byte-identical.
+ */
+std::vector<std::string> extraOrgNames();
 
 /** Per-core profiles of a named workload ("mix3" or a suite name). */
 std::vector<WorkloadProfile> workloadProfiles(const std::string &name,

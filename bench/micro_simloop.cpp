@@ -86,7 +86,6 @@ operator delete[](void *p, std::size_t) noexcept
 namespace
 {
 
-using dice::L4Kind;
 using dice::System;
 using dice::SystemConfig;
 using namespace dice::bench;
@@ -122,7 +121,7 @@ orgConfig(const std::string &org, std::uint64_t refs_per_core)
 {
     SystemConfig cfg = simBase(refs_per_core);
     if (org == "none") {
-        cfg.l4_kind = L4Kind::None;
+        cfg.l4.organization = "none";
         return cfg;
     }
     if (org == "alloy")
@@ -131,12 +130,9 @@ orgConfig(const std::string &org, std::uint64_t refs_per_core)
         return configureCompressed(cfg, dice::CompressionPolicy::TsiOnly);
     if (org == "dice")
         return configureDice(cfg);
-    if (org == "scc") {
-        cfg.l4_kind = L4Kind::Scc;
-        return cfg;
-    }
-    std::fprintf(stderr, "unknown organization %s\n", org.c_str());
-    std::abort();
+    // Any other registered organization name ("scc", "banshee",
+    // "touche", ...) resolves through the registry.
+    return configureOrganization(cfg, org);
 }
 
 /** Simulated references one System::run() executes (all phases). */
@@ -345,6 +341,8 @@ DICE_SIM_BENCH(alloy);
 DICE_SIM_BENCH(tsi);
 DICE_SIM_BENCH(dice);
 DICE_SIM_BENCH(scc);
+DICE_SIM_BENCH(banshee);
+DICE_SIM_BENCH(touche);
 
 #undef DICE_SIM_BENCH
 
@@ -456,8 +454,8 @@ runCheck()
     // measured window, so the delta isolates true per-reference
     // allocation. The fig10-sized cache would still be absorbing
     // first-touch set fills at these reference counts.
-    short_cfg.l4_comp.base.capacity = std::uint64_t{1} << 20;
-    long_cfg.l4_comp.base.capacity = std::uint64_t{1} << 20;
+    short_cfg.l4.base.capacity = std::uint64_t{1} << 20;
+    long_cfg.l4.base.capacity = std::uint64_t{1} << 20;
     long_cfg.warmup_refs_per_core = short_cfg.warmup_refs_per_core;
 
     const std::size_t short_allocs = allocsForRun(short_cfg);

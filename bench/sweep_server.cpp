@@ -12,7 +12,11 @@
  *
  * Flags (besides the --serve/--worker/--batch sweep flags):
  *   --sweep NAME      Organization set: "fig10" (base/tsi/bai/dice/
- *                     2x2x, the default) or "quick" (base/dice).
+ *                     2x2x, the default), "quick" (base/dice), or
+ *                     "zoo" (every registry organization: base/tsi/
+ *                     bai/dice/scc/banshee/touche). The fig10 cells
+ *                     keep the same cache keys in both sweeps, so
+ *                     their digest lines byte-diff clean across them.
  *   --workloads CSV   Comma-separated workload names (default: the
  *                     full 26-workload evaluation suite).
  *   --refs N          Shorthand for DICE_BENCH_REFS=N.
@@ -97,9 +101,24 @@ main(int argc, char **argv)
     } else if (sweep == "quick") {
         orgs.push_back({base, "base"});
         orgs.push_back({configureDice(defaultBase()), "dice"});
+    } else if (sweep == "zoo") {
+        // One column per registry organization. The first five reuse
+        // the fig10 builders and cache keys, so a zoo sweep's digest
+        // lines for them are byte-identical to a fig10 sweep's.
+        orgs.push_back({base, "base"});
+        orgs.push_back({configureCompressed(defaultBase(),
+                                            CompressionPolicy::TsiOnly),
+                        "tsi"});
+        orgs.push_back({configureCompressed(defaultBase(),
+                                            CompressionPolicy::BaiOnly),
+                        "bai"});
+        orgs.push_back({configureDice(defaultBase()), "dice"});
+        for (const char *org : {"scc", "banshee", "touche"})
+            orgs.push_back(
+                {configureOrganization(defaultBase(), org), org});
     } else {
         std::fprintf(stderr, "sweep_server: unknown --sweep %s "
-                             "(try fig10 or quick)\n",
+                             "(try fig10, quick, or zoo)\n",
                      sweep.c_str());
         return 2;
     }

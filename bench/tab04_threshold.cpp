@@ -34,7 +34,7 @@ main(int argc, char **argv)
     std::vector<OrgCell> orgs = {{base, "base"}};
     for (const std::uint32_t threshold : {32u, 36u, 40u}) {
         SystemConfig cfg = configureDice(defaultBase());
-        cfg.l4_comp.threshold_bytes = threshold;
+        cfg.l4.comp.threshold_bytes = threshold;
         const std::string key =
             threshold == 36 ? "dice" : "dice-t" + std::to_string(threshold);
         orgs.push_back({cfg, key});
@@ -46,7 +46,7 @@ main(int argc, char **argv)
     std::map<std::uint32_t, std::map<std::string, double>> speedups;
     for (std::size_t i = 1; i < orgs.size(); ++i) {
         const std::uint32_t threshold =
-            orgs[i].config.l4_comp.threshold_bytes;
+            orgs[i].config.l4.comp.threshold_bytes;
         for (const auto &name : all) {
             speedups[threshold][name] = speedupOver(
                 name, base, "base", orgs[i].config, orgs[i].cache_key);

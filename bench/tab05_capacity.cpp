@@ -30,7 +30,7 @@ main(int argc, char **argv)
     const SystemConfig base = configureBaseline(defaultBase());
 
     const double physical_lines = static_cast<double>(
-        defaultBase().l4_base.capacity / kLineSize);
+        defaultBase().l4.base.capacity / kLineSize);
 
     std::vector<std::string> all;
     for (const auto &group : {rateNames(), mixNames(), gapNames()}) {

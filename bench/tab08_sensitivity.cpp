@@ -22,12 +22,12 @@ namespace
 SystemConfig
 withHalfLatency(SystemConfig cfg)
 {
-    DramTiming &b = cfg.l4_base.timing;
+    DramTiming &b = cfg.l4.base.timing;
     b.tCAS /= 2;
     b.tRCD /= 2;
     b.tRP /= 2;
     b.tRAS /= 2;
-    DramTiming &c = cfg.l4_comp.base.timing;
+    DramTiming &c = cfg.l4.base.timing;
     c.tCAS /= 2;
     c.tRCD /= 2;
     c.tRP /= 2;
@@ -38,16 +38,16 @@ withHalfLatency(SystemConfig cfg)
 SystemConfig
 withDoubleCapacity(SystemConfig cfg)
 {
-    cfg.l4_base.capacity *= 2;
-    cfg.l4_comp.base.capacity *= 2;
+    cfg.l4.base.capacity *= 2;
+    cfg.l4.base.capacity *= 2;
     return cfg;
 }
 
 SystemConfig
 withDoubleBandwidth(SystemConfig cfg)
 {
-    cfg.l4_base.timing.channels *= 2;
-    cfg.l4_comp.base.timing.channels *= 2;
+    cfg.l4.base.timing.channels *= 2;
+    cfg.l4.base.timing.channels *= 2;
     return cfg;
 }
 

@@ -20,7 +20,7 @@ namespace
 {
 
 SystemConfig
-makeConfig(L4Kind kind, CompressionPolicy policy)
+makeConfig(const std::string &organization)
 {
     SystemConfig cfg;
     cfg.num_cores = 8;
@@ -28,10 +28,8 @@ makeConfig(L4Kind kind, CompressionPolicy policy)
     cfg.warmup_refs_per_core = 15'000;
     cfg.reference_capacity = 8_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_kind = kind;
-    cfg.l4_base.capacity = 8_MiB;
-    cfg.l4_comp.base.capacity = 8_MiB;
-    cfg.l4_comp.policy = policy;
+    cfg.l4.organization = organization;
+    cfg.l4.base.capacity = 8_MiB;
     cfg.seed = 7;
     return cfg;
 }
@@ -70,16 +68,14 @@ main(int argc, char **argv)
     struct Org
     {
         const char *name;
-        L4Kind kind;
-        CompressionPolicy policy;
+        const char *organization;
     };
-    for (const Org org :
-         {Org{"baseline", L4Kind::Alloy, CompressionPolicy::Dice},
-          Org{"comp-TSI", L4Kind::Compressed, CompressionPolicy::TsiOnly},
-          Org{"comp-NSI", L4Kind::Compressed, CompressionPolicy::NsiOnly},
-          Org{"comp-BAI", L4Kind::Compressed, CompressionPolicy::BaiOnly},
-          Org{"DICE", L4Kind::Compressed, CompressionPolicy::Dice}}) {
-        System sys(makeConfig(org.kind, org.policy), profiles);
+    for (const Org org : {Org{"baseline", "alloy"},
+                          Org{"comp-TSI", "comp-tsi"},
+                          Org{"comp-NSI", "comp-nsi"},
+                          Org{"comp-BAI", "comp-bai"},
+                          Org{"DICE", "dice"}}) {
+        System sys(makeConfig(org.organization), profiles);
         const RunResult r = sys.run();
         if (base_cycles == 0)
             base_cycles = r.cycles;

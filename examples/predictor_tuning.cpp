@@ -27,11 +27,10 @@ runDice(const std::string &workload, std::uint32_t ltt_entries,
     cfg.warmup_refs_per_core = 15'000;
     cfg.reference_capacity = 8_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.base.capacity = 8_MiB;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
-    cfg.l4_comp.cip_entries = ltt_entries;
-    cfg.l4_comp.threshold_bytes = threshold;
+    cfg.l4.organization = "dice";
+    cfg.l4.base.capacity = 8_MiB;
+    cfg.l4.comp.cip_entries = ltt_entries;
+    cfg.l4.comp.threshold_bytes = threshold;
     cfg.seed = 11;
     System sys(cfg, std::vector<WorkloadProfile>(
                         8, profileByName(workload)));

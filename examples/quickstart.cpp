@@ -29,10 +29,9 @@ main(int argc, char **argv)
     cfg.warmup_refs_per_core = refs / 2;
     cfg.reference_capacity = 8_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.base.capacity = 8_MiB;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
-    cfg.l4_comp.threshold_bytes = 36;
+    cfg.l4.organization = "dice";
+    cfg.l4.base.capacity = 8_MiB;
+    cfg.l4.comp.threshold_bytes = 36;
 
     // 2. Pick a workload: every benchmark of the paper's Table 3 is
     //    available by name; rate mode runs one copy per core.

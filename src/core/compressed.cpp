@@ -447,6 +447,25 @@ CompressedDramCache::install(LineAddr line, std::uint64_t payload,
     return res;
 }
 
+L4Metrics
+CompressedDramCache::metrics() const
+{
+    L4Metrics m;
+    m.second_probes = second_probes_;
+    m.installs_invariant = installs_invariant_;
+    m.installs_bai = installs_bai_;
+    m.installs_tsi = installs_tsi_;
+    m.cip_read_accuracy = cip_.readAccuracy();
+    m.cip_write_accuracy = cip_.writeAccuracy();
+    return m;
+}
+
+void
+CompressedDramCache::registerExtraStats(StatRegistry &registry) const
+{
+    registry.add("cip", [this] { return cip_.stats(); });
+}
+
 void
 CompressedDramCache::enableDecisionTrace(bool enabled)
 {

@@ -90,6 +90,8 @@ class CompressedDramCache : public DramCache
     bool contains(LineAddr line) const override;
     std::uint64_t validLines() const override;
     const char *organization() const override;
+    L4Metrics metrics() const override;
+    void registerExtraStats(StatRegistry &registry) const override;
 
     const SetIndexer &indexer() const { return indexer_; }
     const Cip &cip() const { return cip_; }
@@ -107,7 +109,7 @@ class CompressedDramCache : public DramCache
     std::uint64_t duplicateScrubs() const { return duplicate_scrubs_; }
 
     /** Bytes of compressed payload + tags currently resident. */
-    std::uint64_t bytesUsed() const;
+    std::uint64_t bytesUsed() const override;
 
     /**
      * Combined storage footprint of the compressed-size memos

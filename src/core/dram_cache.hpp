@@ -61,7 +61,43 @@ struct L4WriteResult
     std::uint32_t dram_accesses = 1;
     /** Dirty victims that must now be written to main memory. */
     WritebackList writebacks;
+    /**
+     * True when the organization declined to cache the line (e.g. a
+     * bandwidth-aware replacement kept the resident page). A declined
+     * dirty line is carried out through `writebacks`; the system
+     * otherwise needs no special handling.
+     */
+    bool bypassed = false;
+    /**
+     * Lines the organization wants streamed from main memory to
+     * complete a coarse-granularity fill (page-based policies admit a
+     * whole page on one demand line). The system charges the memory
+     * read traffic and returns each payload via completeFill().
+     * Empty for line-granularity organizations — the common case pays
+     * no allocation (a default-constructed vector does not allocate).
+     */
+    std::vector<LineAddr> fill_fetches;
 };
+
+/**
+ * Aggregate policy metrics the system folds into its RunResult. The
+ * defaults match RunResult's: an organization without the concept
+ * (no index predictor, no second probes) inherits them unchanged.
+ */
+struct L4Metrics
+{
+    /** Reads that needed a second DRAM access (index misprediction). */
+    std::uint64_t second_probes = 0;
+    /** Install-index decision counters (Figure 11). */
+    std::uint64_t installs_invariant = 0;
+    std::uint64_t installs_bai = 0;
+    std::uint64_t installs_tsi = 0;
+    /** Index-predictor accuracies (1.0 when there is no predictor). */
+    double cip_read_accuracy = 1.0;
+    double cip_write_accuracy = 1.0;
+};
+
+class StatRegistry;
 
 /** Abstract L4 DRAM cache. */
 class DramCache
@@ -87,14 +123,49 @@ class DramCache
                                   bool dirty, Cycle now,
                                   bool after_read_miss) = 0;
 
+    /**
+     * Deliver the payload of a line the last install() requested via
+     * fill_fetches (the system has charged the memory read). Only
+     * coarse-granularity organizations override this.
+     */
+    virtual void completeFill(LineAddr line, std::uint64_t payload,
+                              Cycle now)
+    {
+        (void)line;
+        (void)payload;
+        (void)now;
+    }
+
     /** True when @p line is resident (functional check, no timing). */
     virtual bool contains(LineAddr line) const = 0;
 
     /** Number of valid logical lines (for effective-capacity studies). */
     virtual std::uint64_t validLines() const = 0;
 
+    /** Bytes of payload + tags currently resident. */
+    virtual std::uint64_t bytesUsed() const
+    {
+        return validLines() * kLineSize;
+    }
+
     /** Organization name for reports. */
     virtual const char *organization() const = 0;
+
+    /**
+     * Policy metrics for the run result. The base implementation's
+     * defaults are the "organization has no such concept" values.
+     */
+    virtual L4Metrics metrics() const { return {}; }
+
+    /**
+     * Register organization-specific stat groups beyond the "l4" /
+     * "l4.dram" pair the system always exports (e.g. the compressed
+     * cache's index predictor registers "cip"). Default: none.
+     */
+    virtual void registerExtraStats(StatRegistry &registry) const
+    {
+        (void)registry;
+    }
 
     virtual void resetStats();
 

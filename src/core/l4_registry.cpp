@@ -1,0 +1,173 @@
+#include "l4_registry.hpp"
+
+#include "common/log.hpp"
+#include "core/alloy.hpp"
+#include "core/banshee.hpp"
+#include "core/compressed.hpp"
+#include "core/scc.hpp"
+#include "core/touche.hpp"
+
+namespace dice
+{
+
+namespace
+{
+
+/** CompressedCacheConfig for one of the compressed-family policies. */
+CompressedCacheConfig
+compressedConfig(const L4Config &config, CompressionPolicy policy)
+{
+    CompressedCacheConfig c;
+    c.base = config.base;
+    c.policy = policy;
+    c.threshold_bytes = config.comp.threshold_bytes;
+    c.cip_entries = config.comp.cip_entries;
+    c.knl_mode = config.comp.knl_mode;
+    c.pair_compression = config.comp.pair_compression;
+    return c;
+}
+
+L4Registry::Factory
+compressedFactory(CompressionPolicy policy)
+{
+    return [policy](const L4Config &config, const LineDataSource &source) {
+        return std::make_unique<CompressedDramCache>(
+            compressedConfig(config, policy), source);
+    };
+}
+
+void
+registerBuiltins(L4Registry &r)
+{
+    r.add("none", 0,
+          [](const L4Config &, const LineDataSource &)
+              -> std::unique_ptr<DramCache> { return nullptr; });
+    r.add("alloy", 0,
+          [](const L4Config &config, const LineDataSource &)
+              -> std::unique_ptr<DramCache> {
+              return std::make_unique<AlloyCache>(config.base);
+          });
+    r.add("comp-tsi", L4Registry::kUsesComp,
+          compressedFactory(CompressionPolicy::TsiOnly));
+    r.add("comp-nsi", L4Registry::kUsesComp,
+          compressedFactory(CompressionPolicy::NsiOnly));
+    r.add("comp-bai", L4Registry::kUsesComp,
+          compressedFactory(CompressionPolicy::BaiOnly));
+    r.add("dice", L4Registry::kUsesComp,
+          compressedFactory(CompressionPolicy::Dice));
+    r.add("scc", 0,
+          [](const L4Config &config, const LineDataSource &source)
+              -> std::unique_ptr<DramCache> {
+              return std::make_unique<SccCache>(config.base, source);
+          });
+    r.add("banshee", L4Registry::kUsesBanshee,
+          [](const L4Config &config, const LineDataSource &)
+              -> std::unique_ptr<DramCache> {
+              return std::make_unique<BansheeCache>(config.base,
+                                                    config.banshee);
+          });
+    r.add("touche", L4Registry::kUsesTouche,
+          [](const L4Config &config, const LineDataSource &source)
+              -> std::unique_ptr<DramCache> {
+              return std::make_unique<ToucheCache>(config.base,
+                                                   config.touche, source);
+          });
+}
+
+} // namespace
+
+L4Registry &
+L4Registry::instance()
+{
+    // Magic-static init is thread-safe; afterwards the registry is
+    // effectively read-only (tests that add() do so before spawning
+    // simulation threads).
+    static L4Registry registry = [] {
+        L4Registry r;
+        registerBuiltins(r);
+        return r;
+    }();
+    return registry;
+}
+
+const L4Registry::Entry *
+L4Registry::findEntry(const std::string &name) const
+{
+    for (const Entry &e : entries_) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+L4Registry::add(std::string name, std::uint32_t param_groups,
+                Factory factory)
+{
+    dice_assert(findEntry(name) == nullptr,
+                "L4 organization '%s' registered twice", name.c_str());
+    entries_.push_back(
+        Entry{std::move(name), param_groups, std::move(factory)});
+}
+
+bool
+L4Registry::known(const std::string &name) const
+{
+    return findEntry(name) != nullptr;
+}
+
+std::vector<std::string>
+L4Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+std::unique_ptr<DramCache>
+L4Registry::create(const L4Config &config,
+                   const LineDataSource &source) const
+{
+    const Entry *entry = findEntry(config.organization);
+    if (entry == nullptr) {
+        std::string known_names;
+        for (const Entry &e : entries_) {
+            if (!known_names.empty())
+                known_names += ", ";
+            known_names += e.name;
+        }
+        dice_panic("unknown L4 organization '%s' (registered: %s)",
+                   config.organization.c_str(), known_names.c_str());
+    }
+
+    // Tagged-config validation: a parameter group the organization
+    // does not consume must stay at its defaults — a tweak there is a
+    // config bug that the old L4Kind+dual-config scheme ignored.
+    if (!(entry->param_groups & kUsesComp) &&
+        !(config.comp == CompressedL4Params{})) {
+        dice_panic("L4 organization '%s' does not consume the "
+                   "compressed-cache parameters, but l4.comp was "
+                   "changed from its defaults",
+                   entry->name.c_str());
+    }
+    if (!(entry->param_groups & kUsesBanshee) &&
+        !(config.banshee == BansheeL4Params{})) {
+        dice_panic("L4 organization '%s' does not consume the Banshee "
+                   "parameters, but l4.banshee was changed from its "
+                   "defaults",
+                   entry->name.c_str());
+    }
+    if (!(entry->param_groups & kUsesTouche) &&
+        !(config.touche == ToucheL4Params{})) {
+        dice_panic("L4 organization '%s' does not consume the Touché "
+                   "parameters, but l4.touche was changed from its "
+                   "defaults",
+                   entry->name.c_str());
+    }
+
+    return entry->factory(config, source);
+}
+
+} // namespace dice

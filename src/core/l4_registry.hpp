@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Name-keyed factory registry for L4 DRAM-cache organizations.
+ *
+ * The system model knows nothing about concrete organizations: it
+ * carries one tagged L4Config (a shared DramCacheConfig plus one
+ * parameter group per organization family) and asks the registry to
+ * build whatever the `organization` name selects. Adding an
+ * organization means registering a name + factory here — no switch in
+ * System, no new SystemConfig fields.
+ *
+ * The config is *tagged*: each registered organization declares which
+ * parameter groups it consumes, and create() rejects a config whose
+ * unconsumed groups were changed from their defaults (a mismatched
+ * kind/config combo used to be silently ignored).
+ */
+
+#ifndef DICE_CORE_L4_REGISTRY_HPP
+#define DICE_CORE_L4_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dram_cache.hpp"
+
+namespace dice
+{
+
+class LineDataSource;
+
+/** Parameters of the compressed-cache family (TSI/NSI/BAI/DICE/KNL). */
+struct CompressedL4Params
+{
+    /** BAI-vs-TSI insertion threshold (Table 4; default 36 B). */
+    std::uint32_t threshold_bytes = 36;
+    /** CIP Last-Time-Table entries (Section 5.3; default 2048). */
+    std::uint32_t cip_entries = 2048;
+    /** Model the KNL tags-in-ECC organization instead of Alloy. */
+    bool knl_mode = false;
+    /** Merge co-resident spatial neighbors into shared-tag pairs. */
+    bool pair_compression = true;
+
+    friend bool operator==(const CompressedL4Params &,
+                           const CompressedL4Params &) = default;
+};
+
+/** Parameters of the Banshee-style page-granularity organization. */
+struct BansheeL4Params
+{
+    /** Caching granularity (bytes); must be a multiple of 64 covering
+     *  at most 64 lines. */
+    std::uint32_t page_bytes = kPageSize;
+    /** Page-frame associativity. */
+    std::uint32_t ways = 4;
+    /** A candidate page replaces the coldest resident way only when
+     *  its frequency counter exceeds the victim's by more than this
+     *  (bandwidth-aware replacement: a page fill is expensive). */
+    std::uint32_t replace_margin = 1;
+    /** Saturation value of the frequency counters; a resident counter
+     *  reaching it halves its whole set (aging). */
+    std::uint32_t counter_max = 255;
+
+    friend bool operator==(const BansheeL4Params &,
+                           const BansheeL4Params &) = default;
+};
+
+/** Parameters of the Touché-style signature-tag organization. */
+struct ToucheL4Params
+{
+    /** Signature width (bits) of the hashed per-item tags. */
+    std::uint32_t signature_bits = 8;
+
+    friend bool operator==(const ToucheL4Params &,
+                           const ToucheL4Params &) = default;
+};
+
+/**
+ * Tagged organization config. `organization` selects the registered
+ * factory; `base` is shared by every organization; exactly one of the
+ * parameter groups below is consumed (the factory's declaration says
+ * which), and the others must stay at their defaults.
+ */
+struct L4Config
+{
+    /** Registered organization name ("none" disables the L4). */
+    std::string organization = "alloy";
+    DramCacheConfig base;
+
+    CompressedL4Params comp;
+    BansheeL4Params banshee;
+    ToucheL4Params touche;
+};
+
+/** Registry of L4 organization factories, keyed by name. */
+class L4Registry
+{
+  public:
+    /** Parameter groups of L4Config an organization consumes. */
+    enum : std::uint32_t
+    {
+        kUsesComp = 1u << 0,
+        kUsesBanshee = 1u << 1,
+        kUsesTouche = 1u << 2,
+    };
+
+    using Factory = std::function<std::unique_ptr<DramCache>(
+        const L4Config &, const LineDataSource &)>;
+
+    /** The process-wide registry, built-ins pre-registered. */
+    static L4Registry &instance();
+
+    /**
+     * Register an organization. @p param_groups is a kUses* mask of
+     * the L4Config groups the factory reads; create() rejects configs
+     * that set any other group. Registering a duplicate name panics.
+     */
+    void add(std::string name, std::uint32_t param_groups,
+             Factory factory);
+
+    bool known(const std::string &name) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Build the organization @p config selects. Returns null for
+     * "none". Panics (with the list of registered names) on an
+     * unknown name, and on a config whose unconsumed parameter groups
+     * differ from their defaults.
+     */
+    std::unique_ptr<DramCache> create(const L4Config &config,
+                                      const LineDataSource &source) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::uint32_t param_groups;
+        Factory factory;
+    };
+
+    const Entry *findEntry(const std::string &name) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace dice
+
+#endif // DICE_CORE_L4_REGISTRY_HPP

@@ -109,6 +109,18 @@ class TadSet
     std::uint32_t itemCount() const { return n_; }
 
     /**
+     * Base line address of resident item @p i (the even half for a
+     * shared-tag pair). For organizations that scan resident tags —
+     * e.g. signature-tag aliasing checks.
+     */
+    LineAddr
+    itemLine(std::uint32_t i) const
+    {
+        dice_assert(i < n_, "itemLine past live items");
+        return baseOf(i);
+    }
+
+    /**
      * True when an item with @p extra_data payload bytes (plus one
      * tag) holding @p extra_lines lines would still fit.
      */

@@ -30,6 +30,12 @@ MainMemory::read(LineAddr line, Cycle now)
 }
 
 void
+MainMemory::fetch(LineAddr line, Cycle now)
+{
+    device_.access(coordOf(line), kLineSize, now, AccessKind::PostedRead);
+}
+
+void
 MainMemory::write(LineAddr line, std::uint64_t version, Cycle now)
 {
     device_.access(coordOf(line), kLineSize, now, true);

@@ -29,6 +29,12 @@ class MainMemory
     /** Write back @p line (posted; consumes bandwidth). */
     void write(LineAddr line, std::uint64_t version, Cycle now);
 
+    /**
+     * Stream @p line toward the L4 off the critical path (posted read;
+     * consumes bandwidth). Page-granularity fills are made of these.
+     */
+    void fetch(LineAddr line, Cycle now);
+
     /** Current data version of @p line (0 if never written back). */
     std::uint64_t versionOf(LineAddr line) const;
 

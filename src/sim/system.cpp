@@ -5,8 +5,6 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/trace_events.hpp"
-#include "core/alloy.hpp"
-#include "core/scc.hpp"
 #include "workloads/region_plan.hpp"
 
 namespace dice
@@ -73,20 +71,9 @@ System::System(const SystemConfig &config,
         cores_.push_back(std::move(state));
     }
 
-    switch (cfg_.l4_kind) {
-      case L4Kind::None:
-        break;
-      case L4Kind::Alloy:
-        l4_ = std::make_unique<AlloyCache>(cfg_.l4_base);
-        break;
-      case L4Kind::Compressed:
-        l4_ = std::make_unique<CompressedDramCache>(cfg_.l4_comp,
-                                                    datagen_);
-        break;
-      case L4Kind::Scc:
-        l4_ = std::make_unique<SccCache>(cfg_.l4_base, datagen_);
-        break;
-    }
+    // The registry validates the tagged config (unknown names and
+    // mismatched parameter groups panic) and returns null for "none".
+    l4_ = L4Registry::instance().create(cfg_.l4, datagen_);
 
     stats_interval_refs_ = statsIntervalRefs();
     registerStats();
@@ -121,10 +108,9 @@ System::registerStats()
         registry_.add("l4", [this] { return l4_->stats(); });
         registry_.add("l4.dram",
                       [this] { return l4_->device().stats(); });
-        if (const auto *comp =
-                dynamic_cast<const CompressedDramCache *>(l4_.get())) {
-            registry_.add("cip", [comp] { return comp->cip().stats(); });
-        }
+        // Organization-specific groups (e.g. the compressed cache's
+        // "cip") register themselves — no special-casing here.
+        l4_->registerExtraStats(registry_);
     }
     registry_.add("mapi", [this] { return mapi_.stats(); });
     registry_.add("mem.dram", [this] { return mem_.device().stats(); });
@@ -155,6 +141,15 @@ System::drainWritebacks(const WritebackList &wbs, Cycle when)
 }
 
 void
+System::serviceFillFetches(const L4WriteResult &res, Cycle when)
+{
+    for (const LineAddr line : res.fill_fetches) {
+        mem_.fetch(line, when);
+        l4_->completeFill(line, mem_.versionOf(line), when);
+    }
+}
+
+void
 System::writebackBelowL3(LineAddr line, std::uint64_t payload, Cycle when)
 {
     if (!l4_) {
@@ -164,6 +159,7 @@ System::writebackBelowL3(LineAddr line, std::uint64_t payload, Cycle when)
     const L4WriteResult res = l4_->install(line, payload, true, when,
                                            false);
     drainWritebacks(res.writebacks, when);
+    serviceFillFetches(res, when);
 }
 
 void
@@ -211,6 +207,7 @@ System::fetchIntoL3(LineAddr line, Cycle when, std::uint64_t pc,
             const L4WriteResult w =
                 l4_->install(line, payload, false, done, true);
             drainWritebacks(w.writebacks, done);
+            serviceFillFetches(w, done);
         }
         mapi_.update(pc, r.hit);
     }
@@ -426,20 +423,21 @@ System::run()
         res.l4_reads = l4_->readHits() + l4_->readMisses();
         res.l4_extra_lines = l4_->extraLinesSupplied();
         res.l4_bytes = l4_->device().bytesMoved();
-        if (const auto *comp =
-                dynamic_cast<const CompressedDramCache *>(l4_.get())) {
-            res.cip_read_accuracy = comp->cip().readAccuracy();
-            res.cip_write_accuracy = comp->cip().writeAccuracy();
-            res.l4_second_probes = comp->secondProbes();
-            const double decided =
-                static_cast<double>(comp->installsInvariant() +
-                                    comp->installsBai() +
-                                    comp->installsTsi());
-            if (decided > 0) {
-                res.frac_invariant = comp->installsInvariant() / decided;
-                res.frac_bai = comp->installsBai() / decided;
-                res.frac_tsi = comp->installsTsi() / decided;
-            }
+        // Policy metrics come through the organization interface; the
+        // L4Metrics defaults are exactly RunResult's, so organizations
+        // without a predictor or install-index choice leave the result
+        // untouched.
+        const L4Metrics m = l4_->metrics();
+        res.cip_read_accuracy = m.cip_read_accuracy;
+        res.cip_write_accuracy = m.cip_write_accuracy;
+        res.l4_second_probes = m.second_probes;
+        const double decided =
+            static_cast<double>(m.installs_invariant + m.installs_bai +
+                                m.installs_tsi);
+        if (decided > 0) {
+            res.frac_invariant = m.installs_invariant / decided;
+            res.frac_bai = m.installs_bai / decided;
+            res.frac_tsi = m.installs_tsi / decided;
         }
         if (valid_samples_ > 0) {
             res.avg_valid_lines =

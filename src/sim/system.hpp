@@ -19,8 +19,8 @@
 #include "cache/sram_cache.hpp"
 #include "common/flat_map.hpp"
 #include "common/telemetry.hpp"
-#include "core/compressed.hpp"
 #include "core/dram_cache.hpp"
+#include "core/l4_registry.hpp"
 #include "core/mapi.hpp"
 #include "sim/core_model.hpp"
 #include "sim/energy.hpp"
@@ -32,15 +32,6 @@
 
 namespace dice
 {
-
-/** Which L4 organization the system instantiates. */
-enum class L4Kind : std::uint8_t
-{
-    None,       ///< No DRAM cache: L3 misses go straight to DDR.
-    Alloy,      ///< Uncompressed Alloy baseline.
-    Compressed, ///< Compressed cache (policy in l4_comp).
-    Scc,        ///< Skewed-compressed-cache baseline.
-};
 
 /** Configuration of one simulated system. */
 struct SystemConfig
@@ -55,11 +46,13 @@ struct SystemConfig
     SramCacheConfig l2{"l2", 64_KiB, 8, 12};
     SramCacheConfig l3{"l3", 256_KiB, 8, 30};
 
-    L4Kind l4_kind = L4Kind::Alloy;
-    /** Used for Alloy / SCC / None. */
-    DramCacheConfig l4_base;
-    /** Used for Compressed (its .base supplies capacity/timing). */
-    CompressedCacheConfig l4_comp;
+    /**
+     * Tagged L4 organization config, consumed by the L4Registry:
+     * l4.organization names the policy ("none" disables the L4),
+     * l4.base is shared, and the policy-specific parameter group is
+     * validated against the selected organization.
+     */
+    L4Config l4;
 
     DramTiming mem_timing = DramTiming::mainMemoryDdr();
 
@@ -213,6 +206,14 @@ class System
                           Cycle when);
 
     void drainWritebacks(const WritebackList &wbs, Cycle when);
+
+    /**
+     * Stream the lines an install requested via fill_fetches from
+     * main memory into the L4 (page-granularity organizations):
+     * charges the DDR read traffic and hands each payload back
+     * through DramCache::completeFill().
+     */
+    void serviceFillFetches(const L4WriteResult &res, Cycle when);
 
     std::uint64_t bumpVersion(LineAddr line);
 

@@ -2,7 +2,7 @@
  * @file
  * Golden-result digests of the simulator.
  *
- * One representative (workload, organization) cell per L4Kind is run
+ * One representative (workload, organization) cell per L4 organization is run
  * at a fixed, environment-independent configuration and every field of
  * its RunResult (plus white-box L4 occupancy state) is folded into an
  * FNV-1a digest that must match the value recorded from the seed
@@ -71,8 +71,7 @@ goldenBase()
     cfg.warmup_refs_per_core = 10'000;
     cfg.reference_capacity = 8_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_base.capacity = 8_MiB;
-    cfg.l4_comp.base.capacity = 8_MiB;
+    cfg.l4.base.capacity = 8_MiB;
     cfg.core.mshrs = 16;
     cfg.seed = 2017;
     return cfg;
@@ -143,55 +142,65 @@ digestOf(const SystemConfig &cfg, const std::string &workload,
 TEST(Golden, NoneMcf)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::None;
+    cfg.l4.organization = "none";
     EXPECT_EQ(digestOf(cfg, "mcf"), 542617003086962716ull);
 }
 
 TEST(Golden, AlloySoplex)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Alloy;
+    cfg.l4.organization = "alloy";
     EXPECT_EQ(digestOf(cfg, "soplex"), 1711844114032920024ull);
 }
 
 TEST(Golden, DiceMcf)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4.organization = "dice";
     EXPECT_EQ(digestOf(cfg, "mcf"), 2815939932659681256ull);
 }
 
 TEST(Golden, TsiOmnetpp)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::TsiOnly;
+    cfg.l4.organization = "comp-tsi";
     EXPECT_EQ(digestOf(cfg, "omnetpp"), 10533505985897564659ull);
 }
 
 TEST(Golden, KnlDiceMilc)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
-    cfg.l4_comp.knl_mode = true;
+    cfg.l4.organization = "dice";
+    cfg.l4.comp.knl_mode = true;
     EXPECT_EQ(digestOf(cfg, "milc"), 6622506124237408117ull);
 }
 
 TEST(Golden, SccBcTwi)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Scc;
+    cfg.l4.organization = "scc";
     EXPECT_EQ(digestOf(cfg, "bc_twi"), 3569515757373235560ull);
 }
 
 TEST(Golden, MixDice)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4.organization = "dice";
     EXPECT_EQ(digestOf(cfg, "mix1"), 17532371284219348020ull);
+}
+
+TEST(Golden, BansheeMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4.organization = "banshee";
+    EXPECT_EQ(digestOf(cfg, "mcf"), 4169444247172584837ull);
+}
+
+TEST(Golden, ToucheOmnetpp)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4.organization = "touche";
+    EXPECT_EQ(digestOf(cfg, "omnetpp"), 4413007869202590130ull);
 }
 
 // Arena replay must reproduce the live digests bit-for-bit, for every
@@ -200,46 +209,57 @@ TEST(Golden, MixDice)
 TEST(GoldenReplay, NoneMcf)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::None;
+    cfg.l4.organization = "none";
     EXPECT_EQ(digestOf(cfg, "mcf", true), 542617003086962716ull);
 }
 
 TEST(GoldenReplay, AlloySoplex)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Alloy;
+    cfg.l4.organization = "alloy";
     EXPECT_EQ(digestOf(cfg, "soplex", true), 1711844114032920024ull);
 }
 
 TEST(GoldenReplay, DiceMcf)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4.organization = "dice";
     EXPECT_EQ(digestOf(cfg, "mcf", true), 2815939932659681256ull);
 }
 
 TEST(GoldenReplay, TsiOmnetpp)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::TsiOnly;
+    cfg.l4.organization = "comp-tsi";
     EXPECT_EQ(digestOf(cfg, "omnetpp", true), 10533505985897564659ull);
 }
 
 TEST(GoldenReplay, SccBcTwi)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Scc;
+    cfg.l4.organization = "scc";
     EXPECT_EQ(digestOf(cfg, "bc_twi", true), 3569515757373235560ull);
 }
 
 TEST(GoldenReplay, MixDice)
 {
     SystemConfig cfg = goldenBase();
-    cfg.l4_kind = L4Kind::Compressed;
-    cfg.l4_comp.policy = CompressionPolicy::Dice;
+    cfg.l4.organization = "dice";
     EXPECT_EQ(digestOf(cfg, "mix1", true), 17532371284219348020ull);
+}
+
+TEST(GoldenReplay, BansheeMcf)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4.organization = "banshee";
+    EXPECT_EQ(digestOf(cfg, "mcf", true), 4169444247172584837ull);
+}
+
+TEST(GoldenReplay, ToucheOmnetpp)
+{
+    SystemConfig cfg = goldenBase();
+    cfg.l4.organization = "touche";
+    EXPECT_EQ(digestOf(cfg, "omnetpp", true), 4413007869202590130ull);
 }
 
 } // namespace

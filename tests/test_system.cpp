@@ -16,17 +16,15 @@ namespace
 {
 
 SystemConfig
-smallSystem(L4Kind kind, CompressionPolicy policy = CompressionPolicy::Dice)
+smallSystem(const std::string &organization)
 {
     SystemConfig cfg;
     cfg.num_cores = 2;
     cfg.refs_per_core = 20000;
     cfg.reference_capacity = 4_MiB;
     cfg.l3.size_bytes = 64_KiB;
-    cfg.l4_kind = kind;
-    cfg.l4_base.capacity = 4_MiB;
-    cfg.l4_comp.base.capacity = 4_MiB;
-    cfg.l4_comp.policy = policy;
+    cfg.l4.organization = organization;
+    cfg.l4.base.capacity = 4_MiB;
     cfg.seed = 3;
     return cfg;
 }
@@ -39,7 +37,7 @@ rateProfiles(const std::string &name, std::uint32_t cores)
 
 TEST(System, RunsToCompletionAndCountsInstructions)
 {
-    System sys(smallSystem(L4Kind::Alloy), rateProfiles("soplex", 2));
+    System sys(smallSystem("alloy"), rateProfiles("soplex", 2));
     const RunResult r = sys.run();
     EXPECT_GT(r.cycles, 0u);
     EXPECT_EQ(r.core_cycles.size(), 2u);
@@ -50,7 +48,7 @@ TEST(System, RunsToCompletionAndCountsInstructions)
 TEST(System, Deterministic)
 {
     const auto run = [] {
-        System sys(smallSystem(L4Kind::Compressed),
+        System sys(smallSystem("dice"),
                    rateProfiles("gcc", 2));
         return sys.run();
     };
@@ -63,7 +61,7 @@ TEST(System, Deterministic)
 TEST(System, L4HitRateIsReasonableForCacheFriendlyWorkload)
 {
     // sphinx's scaled footprint fits in the L4.
-    System sys(smallSystem(L4Kind::Alloy), rateProfiles("sphinx", 2));
+    System sys(smallSystem("alloy"), rateProfiles("sphinx", 2));
     const RunResult r = sys.run();
     EXPECT_GT(r.l4_hit_rate, 0.5);
 }
@@ -71,7 +69,7 @@ TEST(System, L4HitRateIsReasonableForCacheFriendlyWorkload)
 TEST(System, ThrashingWorkloadHasLowHitRate)
 {
     // mcf's scaled footprint is ~13x the L4.
-    System sys(smallSystem(L4Kind::Alloy), rateProfiles("mcf", 2));
+    System sys(smallSystem("alloy"), rateProfiles("mcf", 2));
     const RunResult r = sys.run();
     EXPECT_LT(r.l4_hit_rate, 0.6);
 }
@@ -80,7 +78,7 @@ TEST(System, VersionsFlowEndToEnd)
 {
     // After a run, every line's latest written version must be
     // somewhere coherent: L3 (if dirty there), else L4, else memory.
-    SystemConfig cfg = smallSystem(L4Kind::Compressed);
+    SystemConfig cfg = smallSystem("dice");
     cfg.refs_per_core = 5000;
     System sys(cfg, rateProfiles("gcc", 2));
     sys.run();
@@ -111,13 +109,13 @@ TEST(System, VersionsFlowEndToEnd)
 
 TEST(System, DiceSuppliesExtraLinesToL3)
 {
-    System dice_sys(smallSystem(L4Kind::Compressed),
+    System dice_sys(smallSystem("dice"),
                     rateProfiles("soplex", 2));
     const RunResult r = dice_sys.run();
     EXPECT_GT(r.l4_extra_lines, 0u);
 
     // And that should lift the L3 hit rate vs. the uncompressed base.
-    System base_sys(smallSystem(L4Kind::Alloy),
+    System base_sys(smallSystem("alloy"),
                     rateProfiles("soplex", 2));
     const RunResult b = base_sys.run();
     EXPECT_GT(r.l3_hit_rate, b.l3_hit_rate - 0.02);
@@ -125,12 +123,12 @@ TEST(System, DiceSuppliesExtraLinesToL3)
 
 TEST(System, ExtraLineForwardingCanBeDisabled)
 {
-    SystemConfig cfg = smallSystem(L4Kind::Compressed);
+    SystemConfig cfg = smallSystem("dice");
     cfg.extra_line_to_l3 = false;
     System sys(cfg, rateProfiles("soplex", 2));
     const RunResult r = sys.run();
     // L4 still produces extras; the system just does not install them.
-    SystemConfig cfg_on = smallSystem(L4Kind::Compressed);
+    SystemConfig cfg_on = smallSystem("dice");
     System sys_on(cfg_on, rateProfiles("soplex", 2));
     const RunResult r_on = sys_on.run();
     EXPECT_LE(r.l3_hit_rate, r_on.l3_hit_rate + 0.02);
@@ -138,7 +136,7 @@ TEST(System, ExtraLineForwardingCanBeDisabled)
 
 TEST(System, CipAccuracyIsHighOnUniformPages)
 {
-    System sys(smallSystem(L4Kind::Compressed),
+    System sys(smallSystem("dice"),
                rateProfiles("omnetpp", 2));
     const RunResult r = sys.run();
     EXPECT_GT(r.cip_read_accuracy, 0.85);
@@ -147,12 +145,12 @@ TEST(System, CipAccuracyIsHighOnUniformPages)
 
 TEST(System, IndexDistributionSkewsWithCompressibility)
 {
-    System comp(smallSystem(L4Kind::Compressed),
+    System comp(smallSystem("dice"),
                 rateProfiles("omnetpp", 2));
     const RunResult rc = comp.run();
     EXPECT_GT(rc.frac_bai, rc.frac_tsi); // compressible: mostly BAI
 
-    System incomp(smallSystem(L4Kind::Compressed),
+    System incomp(smallSystem("dice"),
                   rateProfiles("libq", 2));
     const RunResult ri = incomp.run();
     EXPECT_GT(ri.frac_tsi, ri.frac_bai); // incompressible: mostly TSI
@@ -160,7 +158,7 @@ TEST(System, IndexDistributionSkewsWithCompressibility)
 
 TEST(System, EnergyIsPositiveAndTracksTraffic)
 {
-    System sys(smallSystem(L4Kind::Alloy), rateProfiles("milc", 2));
+    System sys(smallSystem("alloy"), rateProfiles("milc", 2));
     const RunResult r = sys.run();
     EXPECT_GT(r.energy.total_nj, 0.0);
     EXPECT_GT(r.energy.l4_nj, 0.0);
@@ -170,8 +168,8 @@ TEST(System, EnergyIsPositiveAndTracksTraffic)
 
 TEST(System, NoL4MeansMoreMemoryTraffic)
 {
-    System with(smallSystem(L4Kind::Alloy), rateProfiles("gcc", 2));
-    System without(smallSystem(L4Kind::None), rateProfiles("gcc", 2));
+    System with(smallSystem("alloy"), rateProfiles("gcc", 2));
+    System without(smallSystem("none"), rateProfiles("gcc", 2));
     const RunResult rw = with.run();
     const RunResult ro = without.run();
     EXPECT_GT(ro.mem_bytes, rw.mem_bytes);
@@ -179,7 +177,7 @@ TEST(System, NoL4MeansMoreMemoryTraffic)
 
 TEST(System, MixedWorkloadRunsDistinctProfilesPerCore)
 {
-    SystemConfig cfg = smallSystem(L4Kind::Compressed);
+    SystemConfig cfg = smallSystem("dice");
     std::vector<WorkloadProfile> mix = {profileByName("mcf"),
                                         profileByName("libq")};
     System sys(cfg, std::move(mix));
@@ -191,16 +189,16 @@ TEST(System, MixedWorkloadRunsDistinctProfilesPerCore)
 
 TEST(System, WeightedSpeedupOfIdenticalRunsIsOne)
 {
-    System a(smallSystem(L4Kind::Alloy), rateProfiles("wrf", 2));
-    System b(smallSystem(L4Kind::Alloy), rateProfiles("wrf", 2));
+    System a(smallSystem("alloy"), rateProfiles("wrf", 2));
+    System b(smallSystem("alloy"), rateProfiles("wrf", 2));
     const RunResult ra = a.run(), rb = b.run();
     EXPECT_NEAR(weightedSpeedup(ra, rb), 1.0, 1e-9);
 }
 
 TEST(System, FullHierarchyModeFiltersL3Traffic)
 {
-    SystemConfig l3_only = smallSystem(L4Kind::Alloy);
-    SystemConfig full = smallSystem(L4Kind::Alloy);
+    SystemConfig l3_only = smallSystem("alloy");
+    SystemConfig full = smallSystem("alloy");
     full.use_l1_l2 = true;
     System a(l3_only, rateProfiles("gcc", 2));
     System b(full, rateProfiles("gcc", 2));
@@ -213,9 +211,9 @@ TEST(System, FullHierarchyModeFiltersL3Traffic)
 
 TEST(System, PrefetchKnobsRun)
 {
-    SystemConfig nl = smallSystem(L4Kind::Alloy);
+    SystemConfig nl = smallSystem("alloy");
     nl.l3_nextline_prefetch = true;
-    SystemConfig wide = smallSystem(L4Kind::Alloy);
+    SystemConfig wide = smallSystem("alloy");
     wide.l3_wide_fetch = true;
     EXPECT_GT(System(nl, rateProfiles("lbm", 2)).run().cycles, 0u);
     EXPECT_GT(System(wide, rateProfiles("lbm", 2)).run().cycles, 0u);
@@ -223,7 +221,7 @@ TEST(System, PrefetchKnobsRun)
 
 TEST(System, AvgValidLinesTracksOccupancy)
 {
-    System sys(smallSystem(L4Kind::Compressed),
+    System sys(smallSystem("dice"),
                rateProfiles("omnetpp", 2));
     const RunResult r = sys.run();
     EXPECT_GT(r.avg_valid_lines, 0.0);
@@ -234,8 +232,8 @@ TEST(System, AvgValidLinesTracksOccupancy)
 
 TEST(System, SccRunsAndIsSlowerThanDice)
 {
-    System scc(smallSystem(L4Kind::Scc), rateProfiles("soplex", 2));
-    System dice_sys(smallSystem(L4Kind::Compressed),
+    System scc(smallSystem("scc"), rateProfiles("soplex", 2));
+    System dice_sys(smallSystem("dice"),
                     rateProfiles("soplex", 2));
     const RunResult rs = scc.run();
     const RunResult rd = dice_sys.run();
