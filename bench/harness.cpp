@@ -1,11 +1,13 @@
 #include "harness.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <sstream>
@@ -14,6 +16,9 @@
 
 #include <chrono>
 
+#include "sweep_queue.hpp"
+
+#include "common/claim_file.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -326,18 +331,26 @@ namespace
 {
 
 // ---------------------------------------------------------------------
-// Distributed sweep engine (--serve M / --worker i/M / --batch B).
+// Distributed sweep engine (--serve M / --worker i/M / --batch B /
+// --join DIR).
 //
-// The coordinator never sends cell data over a pipe: every worker
-// re-runs the same deterministic binary, deterministically enumerates
-// the same canonical cell vector, simulates only the indices congruent
-// to its worker id, and publishes results through the shared
-// persistent caches (bench_cache/ for RunResults, bench_cache/arena/
-// for reference streams). The coordinator then replays the batch as
-// pure cache loads in canonical order, which makes its stdout, golden
-// digests, and merged document byte-identical to a serial run — and
-// makes worker crashes harmless, because any cell a worker failed to
-// publish is simply simulated by the coordinator during the merge.
+// The coordinator never sends cell data over a pipe: every
+// participant re-runs the same deterministic binary, deterministically
+// enumerates the same canonical cell vector, and publishes results
+// through the shared persistent caches (bench_cache/ for RunResults,
+// bench_cache/arena/ for reference streams). Which participant
+// simulates which cell is decided by the work-stealing claim queue
+// (bench/sweep_queue.hpp): everyone loops "claim next unowned cell →
+// simulate → publish per-cell doc → release", crashed holders' leases
+// expire and their cells are silently requeued, and extra --join
+// workers (other processes, or other hosts sharing the filesystem)
+// attach to the same queue mid-sweep. The coordinator then replays
+// the batch as pure cache loads in canonical order, which makes its
+// stdout, golden digests, and merged document byte-identical to a
+// serial run no matter who computed what or how many times a cell was
+// reclaimed. DICE_SWEEP_STATIC=1 falls back to the legacy static
+// sharding (worker i owns canonical indices ≡ i mod M) for A/B
+// scheduling comparisons.
 
 /** How this process participates in a sweep (set by initSweepMode). */
 struct SweepMode
@@ -346,7 +359,8 @@ struct SweepMode
     {
         Serial,      ///< No flags: in-process thread pool only.
         Coordinator, ///< --serve M: shards batches across workers.
-        Worker       ///< --worker i/M: owns one shard of one batch.
+        Worker,      ///< --worker i/M: claims cells of one batch.
+        Join         ///< --join DIR: attaches to an in-flight sweep.
     };
 
     Role role = Role::Serial;
@@ -354,10 +368,20 @@ struct SweepMode
     unsigned worker_index = 0;      ///< i in [0, M); worker role only.
     unsigned long target_batch = 0; ///< The batch a worker owns.
     std::string self;               ///< argv[0], for re-spawning.
+    std::string join_results;       ///< --join results directory.
     /** Original arguments minus the sweep flags (workers get these
      *  back so binary-specific flags survive the respawn). */
     std::vector<std::string> passthrough;
 };
+
+/** DICE_SWEEP_STATIC=1: legacy static index sharding (no stealing). */
+bool
+schedulerIsStatic()
+{
+    const char *env = std::getenv("DICE_SWEEP_STATIC");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+}
 
 SweepMode &
 sweepMode()
@@ -419,31 +443,54 @@ resultsDir()
     return cacheDir() / "results";
 }
 
-/** Crash- and race-safe small-file write (temp + atomic rename). */
-bool
-atomicWriteFile(const std::filesystem::path &path,
-                const std::string &content)
+/** File stem naming a cell's per-cell doc and lease. */
+std::string
+cellStem(const SimCell &c)
 {
-    static std::atomic<std::uint64_t> counter{0};
-    std::filesystem::path tmp = path;
-    tmp += ".tmp." + std::to_string(static_cast<long>(getpid())) + "." +
-           std::to_string(counter.fetch_add(1));
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (!out)
-            return false;
-        out.write(content.data(),
-                  static_cast<std::streamsize>(content.size()));
-        if (!out)
-            return false;
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return false;
-    }
-    return true;
+    return sanitizeFileStem(c.workload + "_" + c.cache_key);
+}
+
+/**
+ * Expected simulation cost of a cell, in arbitrary comparable units:
+ * trace length × cores × an organization weight. Only the *ordering*
+ * matters — the claim queue hands out the longest-expected cells
+ * first so the batch's expensive tail never lands late on an
+ * already-loaded worker.
+ */
+double
+cellCost(const SimCell &c)
+{
+    const SystemConfig &cfg = c.config;
+    double cost = static_cast<double>(cfg.warmup_refs_per_core +
+                                      cfg.refs_per_core) *
+                  std::max<std::uint32_t>(1, cfg.num_cores);
+    // Compressed organizations run codec sizing on every install, so
+    // their cells simulate measurably slower than the uncompressed
+    // baseline; no L4 at all is cheaper still.
+    const std::string &org = cfg.l4.organization;
+    double weight = 1.0;
+    if (org == "none")
+        weight = 0.5;
+    else if (org != "alloy")
+        weight = 1.5;
+    // Larger L4s take longer to warm and serve more hits per ref.
+    const double cap_ratio =
+        static_cast<double>(cfg.l4.base.capacity) / (8.0 * 1024 * 1024);
+    if (cap_ratio > 1.0)
+        weight *= 1.0 + 0.25 * std::log2(cap_ratio);
+    return cost * weight;
+}
+
+/** The batch's cells as claim-queue entries (canonical order). */
+std::vector<QueueCell>
+queueCellsFor(const std::vector<const SimCell *> &work)
+{
+    std::vector<QueueCell> cells;
+    cells.reserve(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i)
+        cells.push_back(
+            QueueCell{cellStem(*work[i]), i, cellCost(*work[i])});
+    return cells;
 }
 
 /**
@@ -515,20 +562,34 @@ resultJson(const std::string &workload, const std::string &org,
     return out;
 }
 
-std::string
-workerFile(unsigned index, const char *suffix)
+/** One participant's aggregated scheduling record (across batches). */
+struct ParticipantAgg
 {
-    return "worker" + std::to_string(index) + suffix;
-}
+    std::uint64_t cells = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t requeued = 0;
+    std::uint64_t busy_ms = 0;
+    std::uint64_t span_ms = 0;
+    unsigned jobs = 1;
+};
 
-/** Cross-batch totals of what worker processes reported (the
- *  coordinator's own arena counters are tracked by the arena). */
+/** Cross-batch totals of what worker processes reported, plus the
+ *  coordinator's own claim-loop work (its arena counters are tracked
+ *  by the arena itself). */
 struct SweepTotals
 {
     std::uint64_t worker_cells = 0;
     std::uint64_t worker_generations = 0;
     std::uint64_t worker_disk_hits = 0;
     std::uint64_t worker_spills = 0;
+    std::uint64_t worker_stolen = 0;
+    std::uint64_t worker_requeued = 0;
+    std::uint64_t worker_busy_ms = 0;
+    /** Σ span × jobs per worker summary (utilization denominator). */
+    std::uint64_t worker_span_jobs_ms = 0;
+    /** Per-participant records keyed by name ("worker0", "join123"). */
+    std::map<std::string, ParticipantAgg> per_worker;
+    ParticipantAgg coordinator;
 };
 
 SweepTotals &
@@ -540,34 +601,65 @@ sweepTotals()
 
 #ifndef _WIN32
 
+/**
+ * One participant's heartbeat: its own progress and steal/requeue
+ * counters, rewritten (atomically) after every published cell. Feeds
+ * the static-scheduler progress line and post-mortem debugging; the
+ * queue scheduler's progress counts published docs directly.
+ */
 void
-writeHeartbeat(unsigned long batch, std::size_t done, std::size_t total)
+writeHeartbeat(const std::string &name, unsigned long batch,
+               std::size_t done, std::size_t total,
+               const QueueStats &qs, std::uint64_t busy_ms)
 {
-    char buf[128];
-    std::snprintf(buf, sizeof buf, "batch %lu done %zu total %zu\n",
-                  batch, done, total);
-    atomicWriteFile(resultsDir() /
-                        workerFile(sweepMode().worker_index, ".heartbeat"),
-                    buf);
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "batch %lu done %zu total %zu stolen %llu requeued "
+                  "%llu busy_ms %llu\n",
+                  batch, done, total,
+                  static_cast<unsigned long long>(qs.stolen),
+                  static_cast<unsigned long long>(qs.requeued),
+                  static_cast<unsigned long long>(busy_ms));
+    atomicWriteFile(resultsDir() / (name + ".heartbeat"), buf);
 }
 
-/** Sum of all live worker heartbeats for @p batch. */
+/**
+ * Sum of all live participant heartbeats for @p batch. Heartbeats are
+ * written atomically, so a malformed file is foreign garbage, not a
+ * torn write: it is rejected with a warning and removed — never
+ * silently folded into the totals.
+ */
 void
-readHeartbeats(unsigned workers, unsigned long batch, std::size_t &done,
+readHeartbeats(unsigned long batch, std::size_t &done,
                std::size_t &total)
 {
     done = total = 0;
-    for (unsigned i = 0; i < workers; ++i) {
-        std::ifstream in(resultsDir() / workerFile(i, ".heartbeat"));
+    std::error_code ec;
+    std::filesystem::directory_iterator it(resultsDir(), ec);
+    if (ec)
+        return;
+    for (const auto &entry : it) {
+        if (entry.path().extension() != ".heartbeat")
+            continue;
+        std::ifstream in(entry.path());
         if (!in)
             continue;
         std::string content((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
         unsigned long b = 0;
         std::size_t d = 0, t = 0;
-        if (std::sscanf(content.c_str(), "batch %lu done %zu total %zu",
-                        &b, &d, &t) == 3 &&
-            b == batch) {
+        unsigned long long stolen = 0, requeued = 0, busy = 0;
+        if (std::sscanf(content.c_str(),
+                        "batch %lu done %zu total %zu stolen %llu "
+                        "requeued %llu busy_ms %llu",
+                        &b, &d, &t, &stolen, &requeued, &busy) != 6 ||
+            d > t) {
+            dice_warn("sweep: removing garbled heartbeat %s",
+                      entry.path().string().c_str());
+            std::filesystem::remove(entry.path(), ec);
+            continue;
+        }
+        if (b == batch) {
             done += d;
             total += t;
         }
@@ -620,58 +712,136 @@ spawnWorker(unsigned index, unsigned long batch)
                      environ);
     posix_spawn_file_actions_destroy(&fa);
     if (rc != 0) {
-        dice_warn("sweep: cannot spawn worker %u (%s); the coordinator "
-                  "absorbs its shard",
-                  index, std::strerror(rc));
+        // No special case: the unspawned worker's cells simply stay in
+        // the claim queue for the remaining participants (under the
+        // legacy static scheduler its shard is absorbed at merge).
+        dice_warn("sweep: cannot spawn worker %u (%s)", index,
+                  std::strerror(rc));
         return -1;
     }
     return pid;
 }
 
-/** Fold finished workers' summary files into the cross-batch totals
- *  (consumed on read so a later batch never double-counts). */
+/**
+ * Fold finished participants' summary files into the cross-batch
+ * totals (consumed on read so a later batch never double-counts).
+ * Summaries are written atomically; anything that fails to parse is
+ * foreign garbage, rejected with a warning and removed — never
+ * silently folded into the totals.
+ */
 void
-accumulateWorkerSummaries(unsigned workers)
+accumulateWorkerSummaries()
 {
     SweepTotals &totals = sweepTotals();
-    for (unsigned i = 0; i < workers; ++i) {
-        const std::filesystem::path path =
-            resultsDir() / workerFile(i, ".summary");
+    std::error_code ec;
+    std::filesystem::directory_iterator it(resultsDir(), ec);
+    if (ec)
+        return;
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry : it) {
+        if (entry.path().extension() == ".summary")
+            files.push_back(entry.path());
+    }
+    for (const std::filesystem::path &path : files) {
         std::ifstream in(path);
         if (!in)
             continue;
         std::string content((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
         unsigned long batch = 0;
-        unsigned long long cells = 0, gens = 0, disk = 0, spills = 0;
+        unsigned jobs = 0;
+        unsigned long long cells = 0, stolen = 0, requeued = 0;
+        unsigned long long busy = 0, span = 0;
+        unsigned long long gens = 0, disk = 0, spills = 0;
         if (std::sscanf(content.c_str(),
-                        "batch %lu cells %llu generations %llu "
-                        "disk_hits %llu spills %llu",
-                        &batch, &cells, &gens, &disk, &spills) == 5) {
-            totals.worker_cells += cells;
-            totals.worker_generations += gens;
-            totals.worker_disk_hits += disk;
-            totals.worker_spills += spills;
+                        "batch %lu cells %llu stolen %llu requeued "
+                        "%llu busy_ms %llu span_ms %llu jobs %u "
+                        "generations %llu disk_hits %llu spills %llu",
+                        &batch, &cells, &stolen, &requeued, &busy,
+                        &span, &jobs, &gens, &disk, &spills) != 10 ||
+            jobs == 0) {
+            dice_warn("sweep: removing garbled worker summary %s",
+                      path.string().c_str());
+            std::filesystem::remove(path, ec);
+            continue;
         }
-        std::error_code ec;
+        totals.worker_cells += cells;
+        totals.worker_generations += gens;
+        totals.worker_disk_hits += disk;
+        totals.worker_spills += spills;
+        totals.worker_stolen += stolen;
+        totals.worker_requeued += requeued;
+        totals.worker_busy_ms += busy;
+        totals.worker_span_jobs_ms += span * jobs;
+        ParticipantAgg &agg = totals.per_worker[path.stem().string()];
+        agg.cells += cells;
+        agg.stolen += stolen;
+        agg.requeued += requeued;
+        agg.busy_ms += busy;
+        agg.span_ms += span;
+        agg.jobs = jobs;
         std::filesystem::remove(path, ec);
     }
+}
+
+/**
+ * Render one participant's summary-file line. Arena counters are
+ * process-cumulative, so the caller passes the snapshot taken at
+ * batch start (@p since) and the line reports the delta — a
+ * multi-batch participant (a --join worker) never double-counts
+ * generations across its summaries.
+ */
+std::string
+summaryLine(unsigned long batch, std::uint64_t cells,
+            const QueueStats &qs, std::uint64_t busy_ms,
+            std::uint64_t span_ms, unsigned jobs,
+            const TraceArena::Stats &since)
+{
+    const TraceArena::Stats now = TraceArena::instance().stats();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "batch %lu cells %llu stolen %llu requeued %llu busy_ms %llu "
+        "span_ms %llu jobs %u generations %llu disk_hits %llu "
+        "spills %llu\n",
+        batch, static_cast<unsigned long long>(cells),
+        static_cast<unsigned long long>(qs.stolen),
+        static_cast<unsigned long long>(qs.requeued),
+        static_cast<unsigned long long>(busy_ms),
+        static_cast<unsigned long long>(span_ms), jobs,
+        static_cast<unsigned long long>(now.generations -
+                                        since.generations),
+        static_cast<unsigned long long>(now.disk_hits -
+                                        since.disk_hits),
+        static_cast<unsigned long long>(now.spills - since.spills));
+    return buf;
 }
 
 #endif // !_WIN32
 
 /**
- * The machine-readable sweep summary (trace-generation accounting for
- * the whole run, workers included). Not part of the byte-identical
+ * The machine-readable sweep summary: trace-generation accounting plus
+ * the scheduling record (who claimed, stole, and requeued what, and
+ * how busy each participant was). Not part of the byte-identical
  * contract — it reports *how* the run executed, which legitimately
- * differs between serial and sharded runs; CI uses it to prove a warm
- * arena rerun generated zero streams.
+ * differs between serial and distributed runs; CI uses it to prove a
+ * warm arena rerun generated zero streams and that a skewed sweep
+ * actually stole work.
  */
 void
 writeSweepSummary()
 {
     const TraceArena::Stats arena = TraceArena::instance().stats();
     const SweepTotals &totals = sweepTotals();
+    // busy / (span × jobs): 1.0 means every claim-loop thread
+    // simulated for the participant's whole wall-clock span.
+    const auto utilization = [](std::uint64_t busy_ms,
+                                std::uint64_t span_ms, unsigned jobs) {
+        const double denom =
+            static_cast<double>(span_ms) * static_cast<double>(jobs);
+        return denom > 0.0 ? static_cast<double>(busy_ms) / denom : 0.0;
+    };
+
     std::string out = "{\n \"batches\": ";
     out += std::to_string(g_batch_counter.load());
     out += ",\n \"cells\": ";
@@ -680,12 +850,34 @@ writeSweepSummary()
         std::lock_guard lock(reg.mu);
         out += std::to_string(reg.order.size());
     }
+    out += ",\n \"scheduler\": \"";
+    out += schedulerIsStatic() ? "static" : "queue";
+    out += "\",\n \"stolen\": ";
+    out += std::to_string(totals.worker_stolen +
+                          totals.coordinator.stolen);
+    out += ",\n \"requeued\": ";
+    out += std::to_string(totals.worker_requeued +
+                          totals.coordinator.requeued);
     out += ",\n \"coordinator\": {\"generations\": ";
     out += std::to_string(arena.generations);
     out += ", \"disk_hits\": ";
     out += std::to_string(arena.disk_hits);
     out += ", \"spills\": ";
     out += std::to_string(arena.spills);
+    out += ", \"cells\": ";
+    out += std::to_string(totals.coordinator.cells);
+    out += ", \"stolen\": ";
+    out += std::to_string(totals.coordinator.stolen);
+    out += ", \"requeued\": ";
+    out += std::to_string(totals.coordinator.requeued);
+    out += ", \"busy_s\": ";
+    appendJsonNumber(out, totals.coordinator.busy_ms / 1000.0);
+    out += ", \"span_s\": ";
+    appendJsonNumber(out, totals.coordinator.span_ms / 1000.0);
+    out += ", \"utilization\": ";
+    appendJsonNumber(out, utilization(totals.coordinator.busy_ms,
+                                      totals.coordinator.span_ms,
+                                      totals.coordinator.jobs));
     out += "},\n \"workers\": {\"cells\": ";
     out += std::to_string(totals.worker_cells);
     out += ", \"generations\": ";
@@ -694,7 +886,44 @@ writeSweepSummary()
     out += std::to_string(totals.worker_disk_hits);
     out += ", \"spills\": ";
     out += std::to_string(totals.worker_spills);
-    out += "},\n \"total_generations\": ";
+    out += ", \"stolen\": ";
+    out += std::to_string(totals.worker_stolen);
+    out += ", \"requeued\": ";
+    out += std::to_string(totals.worker_requeued);
+    out += ", \"busy_s\": ";
+    appendJsonNumber(out, totals.worker_busy_ms / 1000.0);
+    out += ", \"utilization\": ";
+    appendJsonNumber(
+        out, totals.worker_span_jobs_ms > 0
+                 ? static_cast<double>(totals.worker_busy_ms) /
+                       static_cast<double>(totals.worker_span_jobs_ms)
+                 : 0.0);
+    out += "},\n \"per_worker\": [";
+    bool first = true;
+    for (const auto &[name, agg] : totals.per_worker) {
+        out += first ? "\n  " : ",\n  ";
+        first = false;
+        out += "{\"name\": \"";
+        appendJsonEscaped(out, name);
+        out += "\", \"cells\": ";
+        out += std::to_string(agg.cells);
+        out += ", \"stolen\": ";
+        out += std::to_string(agg.stolen);
+        out += ", \"requeued\": ";
+        out += std::to_string(agg.requeued);
+        out += ", \"busy_s\": ";
+        appendJsonNumber(out, agg.busy_ms / 1000.0);
+        out += ", \"span_s\": ";
+        appendJsonNumber(out, agg.span_ms / 1000.0);
+        out += ", \"jobs\": ";
+        out += std::to_string(agg.jobs);
+        out += ", \"utilization\": ";
+        appendJsonNumber(
+            out, utilization(agg.busy_ms, agg.span_ms, agg.jobs));
+        out += "}";
+    }
+    out += first ? "],\n \"total_generations\": "
+                 : "\n ],\n \"total_generations\": ";
     out += std::to_string(arena.generations + totals.worker_generations);
     out += "\n}\n";
     std::error_code ec;
@@ -764,13 +993,166 @@ runCellsSerial(const std::vector<const SimCell *> &work,
 
 #ifndef _WIN32
 
+/** Milliseconds elapsed since @p t0. */
+std::uint64_t
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/**
+ * One participant's claim loop against @p q, run as @p jobs parallel
+ * loops: claim the most expensive unowned cell, simulate it, publish
+ * its document, repeat. When nothing is claimable the loop polls until
+ * the batch completes — a live peer may still crash and requeue its
+ * cells, and those must not be orphaned. @p after_cell runs after
+ * every publish with this participant's cumulative busy milliseconds
+ * (used for heartbeats/progress). Returns total busy milliseconds.
+ */
+template <typename AfterCell>
+std::uint64_t
+drainSweepQueue(SweepQueue &q, const std::vector<const SimCell *> &work,
+                unsigned jobs, AfterCell after_cell)
+{
+    std::atomic<std::uint64_t> busy_ms{0};
+    parallelFor(jobs, jobs, [&](std::size_t) {
+        for (;;) {
+            const std::optional<std::size_t> idx = q.claimNext();
+            if (!idx) {
+                if (q.complete())
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                continue;
+            }
+            const SimCell *c = work[q.cell(*idx).canonical_index];
+            const auto t0 = std::chrono::steady_clock::now();
+            const RunResult &r =
+                runWorkload(c->workload, c->config, c->cache_key);
+            const std::uint64_t dt = elapsedMs(t0);
+            const std::uint64_t busy =
+                busy_ms.fetch_add(dt, std::memory_order_relaxed) + dt;
+            q.publish(*idx,
+                      resultJson(c->workload, c->cache_key, r) + "\n");
+            after_cell(busy);
+        }
+    });
+    return busy_ms.load();
+}
+
+/**
+ * Run one batch as a claim-queue participant named @p name whose
+ * nominal static shard is @p home_shard of @p shard_count (0 ⇒ no
+ * shard; every claim counts as stolen). Heartbeats after every
+ * published cell; ends with either a summary file for the coordinator
+ * to accumulate or, when @p record is non-null (the coordinator
+ * itself), an in-process record — the coordinator's arena counters
+ * are already reported directly, so it must not also write a summary
+ * that would double-count them.
+ */
+void
+runCellsQueueParticipant(const std::vector<const SimCell *> &work,
+                         unsigned long batch, const std::string &name,
+                         unsigned home_shard, unsigned shard_count,
+                         ParticipantAgg *record = nullptr)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir(), ec);
+    SweepQueue q(resultsDir(), queueCellsFor(work), home_shard,
+                 shard_count);
+    const unsigned jobs = benchJobs();
+    const auto t0 = std::chrono::steady_clock::now();
+    const TraceArena::Stats since = TraceArena::instance().stats();
+    // The summary is rewritten (atomically) after every publish, not
+    // only at the end: completion detection lags the last publish by
+    // a poll interval, and the accumulating coordinator must find the
+    // full record the instant the batch's last document lands — not
+    // lose a race against a --join worker still noticing it is done.
+    const auto write_summary = [&](std::uint64_t busy_ms) {
+        if (record != nullptr)
+            return;
+        const QueueStats qs = q.stats();
+        atomicWriteFile(resultsDir() / (name + ".summary"),
+                        summaryLine(batch, qs.published, qs, busy_ms,
+                                    elapsedMs(t0), jobs, since));
+    };
+    writeHeartbeat(name, batch, 0, work.size(), QueueStats{}, 0);
+    write_summary(0);
+    const std::uint64_t busy =
+        drainSweepQueue(q, work, jobs, [&](std::uint64_t busy_so_far) {
+            writeHeartbeat(name, batch, q.doneCount(), work.size(),
+                           q.stats(), busy_so_far);
+            write_summary(busy_so_far);
+        });
+    const std::uint64_t span = elapsedMs(t0);
+    const QueueStats qs = q.stats();
+    if (record != nullptr) {
+        record->cells += qs.published;
+        record->stolen += qs.stolen;
+        record->requeued += qs.requeued;
+        record->busy_ms += busy;
+        record->span_ms += span;
+        record->jobs = jobs;
+    } else {
+        write_summary(busy);
+    }
+}
+
+/**
+ * Legacy static scheduler (DICE_SWEEP_STATIC=1): the worker owns
+ * exactly the canonical indices congruent to its index mod M. Kept as
+ * the A/B baseline for scheduling experiments; a crashed worker's
+ * shard silently degrades to coordinator-local simulation at merge.
+ */
+void
+runCellsWorkerStatic(const std::vector<const SimCell *> &work,
+                     unsigned long batch)
+{
+    const SweepMode &m = sweepMode();
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir(), ec);
+    std::vector<const SimCell *> mine;
+    for (std::size_t i = m.worker_index; i < work.size();
+         i += m.workers)
+        mine.push_back(work[i]);
+
+    const std::string name = "worker" + std::to_string(m.worker_index);
+    const unsigned jobs = benchJobs();
+    const auto t0 = std::chrono::steady_clock::now();
+    const TraceArena::Stats since = TraceArena::instance().stats();
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> busy_ms{0};
+    writeHeartbeat(name, batch, 0, mine.size(), QueueStats{}, 0);
+    parallelFor(mine.size(), jobs, [&](std::size_t i) {
+        const SimCell *c = mine[i];
+        const auto c0 = std::chrono::steady_clock::now();
+        const RunResult &r =
+            runWorkload(c->workload, c->config, c->cache_key);
+        const std::uint64_t dt = elapsedMs(c0);
+        const std::uint64_t busy =
+            busy_ms.fetch_add(dt, std::memory_order_relaxed) + dt;
+        atomicWriteFile(SweepQueue::docPath(resultsDir(), cellStem(*c)),
+                        resultJson(c->workload, c->cache_key, r) + "\n");
+        writeHeartbeat(name, batch,
+                       done.fetch_add(1, std::memory_order_relaxed) + 1,
+                       mine.size(), QueueStats{}, busy);
+    });
+    atomicWriteFile(resultsDir() / (name + ".summary"),
+                    summaryLine(batch, mine.size(), QueueStats{},
+                                busy_ms.load(), elapsedMs(t0), jobs,
+                                since));
+}
+
 /**
  * Worker role: batches before the target were already merged into the
  * persistent cache by the coordinator, so they replay as loads; the
- * target batch simulates only this worker's shard (canonical index
- * congruent to worker_index mod M), streams per-cell documents and
- * heartbeats into the results directory, then exits before the bench
- * main can print anything or touch later batches.
+ * target batch drains the shared claim queue (or, under
+ * DICE_SWEEP_STATIC=1, simulates exactly its static shard), then the
+ * worker exits before the bench main can print anything or touch
+ * later batches.
  */
 void
 runCellsWorker(const std::vector<const SimCell *> &work,
@@ -782,63 +1164,169 @@ runCellsWorker(const std::vector<const SimCell *> &work,
         return;
     }
 
-    std::error_code ec;
-    std::filesystem::create_directories(resultsDir(), ec);
-    std::vector<const SimCell *> mine;
-    for (std::size_t i = m.worker_index; i < work.size();
-         i += m.workers)
-        mine.push_back(work[i]);
-
-    std::atomic<std::size_t> done{0};
-    writeHeartbeat(batch, 0, mine.size());
-    parallelFor(mine.size(), benchJobs(),
-                [&mine, &done, batch](std::size_t i) {
-        const SimCell *c = mine[i];
-        const RunResult &r =
-            runWorkload(c->workload, c->config, c->cache_key);
-        atomicWriteFile(
-            resultsDir() /
-                (sanitizeFileStem(c->workload + "_" + c->cache_key) +
-                 ".cell.json"),
-            resultJson(c->workload, c->cache_key, r) + "\n");
-        writeHeartbeat(batch,
-                       done.fetch_add(1, std::memory_order_relaxed) + 1,
-                       mine.size());
-    });
-
-    const TraceArena::Stats arena = TraceArena::instance().stats();
-    char buf[192];
-    std::snprintf(buf, sizeof buf,
-                  "batch %lu cells %zu generations %llu disk_hits %llu "
-                  "spills %llu\n",
-                  batch, mine.size(),
-                  static_cast<unsigned long long>(arena.generations),
-                  static_cast<unsigned long long>(arena.disk_hits),
-                  static_cast<unsigned long long>(arena.spills));
-    atomicWriteFile(resultsDir() / workerFile(m.worker_index, ".summary"),
-                    buf);
+    if (schedulerIsStatic())
+        runCellsWorkerStatic(work, batch);
+    else
+        runCellsQueueParticipant(
+            work, batch, "worker" + std::to_string(m.worker_index),
+            m.worker_index, m.workers);
     if (TraceLog::instance().enabled())
         TraceLog::instance().flush();
     std::exit(0);
 }
 
 /**
- * Coordinator role: shard the batch across M re-spawned workers, wait
- * on them while aggregating their heartbeats into one progress line,
- * then merge by replaying the batch as cache loads in canonical order
- * (simulating locally anything a worker failed to publish).
+ * Join role (--join DIR): attach to an in-flight sweep's results
+ * directory and drain every batch's claim queue alongside the owning
+ * coordinator — from this host or any other sharing the filesystem.
+ * A join worker is a pure extra pair of hands: it feeds the shared
+ * caches, per-cell documents, its heartbeat, and a summary per batch;
+ * the sweep's coordinator still owns stdout, the merged document, and
+ * the sweep summary.
  */
 void
-runCellsCoordinator(const std::vector<const SimCell *> &work,
-                    unsigned long batch)
+runCellsJoin(const std::vector<const SimCell *> &work,
+             unsigned long batch)
+{
+    static const std::string name =
+        "join" + std::to_string(claimPid());
+    runCellsQueueParticipant(work, batch, name, 0, 0);
+}
+
+/** Remove every participant heartbeat and summary (batch-start
+ *  hygiene: leftovers from a previous batch or run — e.g. a --join
+ *  worker's final summary rewrite that landed after the previous
+ *  batch was accumulated — must not pollute this batch's progress or
+ *  get accumulated twice). */
+void
+removeHeartbeats()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(resultsDir(), ec);
+    if (ec)
+        return;
+    std::vector<std::filesystem::path> stale;
+    for (const auto &entry : it) {
+        const std::filesystem::path ext = entry.path().extension();
+        if (ext == ".heartbeat" || ext == ".summary")
+            stale.push_back(entry.path());
+    }
+    for (const std::filesystem::path &p : stale)
+        std::filesystem::remove(p, ec);
+}
+
+/**
+ * Coordinator role, work-stealing scheduler: reset the batch's cells
+ * (documents left by a previous run must not masquerade as done),
+ * spawn M workers, and monitor the queue. While workers live the
+ * coordinator only reaps and reports progress — a worker that dies
+ * abnormally just abandons its leases, which expire and requeue to
+ * the survivors. Only when *every* worker is gone does the
+ * coordinator drain the remainder itself (also the degenerate path
+ * when spawning fails entirely). Then it merges by replaying the
+ * batch as cache loads in canonical order, which keeps stdout and the
+ * merged document byte-identical to a serial run.
+ */
+void
+runCellsCoordinatorQueue(const std::vector<const SimCell *> &work,
+                         unsigned long batch)
+{
+    const SweepMode &m = sweepMode();
+    std::error_code ec;
+    std::filesystem::create_directories(resultsDir() / "leases", ec);
+    for (const SimCell *c : work)
+        SweepQueue::resetCell(resultsDir(), cellStem(*c));
+    removeHeartbeats();
+
+    std::vector<pid_t> pids;
+    for (unsigned i = 0; i < m.workers; ++i) {
+        const pid_t pid = spawnWorker(i, batch);
+        if (pid > 0)
+            pids.push_back(pid);
+    }
+
+    SweepQueue q(resultsDir(), queueCellsFor(work), 0, 0);
+    const unsigned jobs = benchJobs();
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool progress = progressEnabled();
+    std::vector<bool> reaped(pids.size(), false);
+    std::size_t alive = pids.size();
+    std::uint64_t busy_ms = 0;
+    for (;;) {
+        for (std::size_t i = 0; i < pids.size(); ++i) {
+            if (reaped[i])
+                continue;
+            int status = 0;
+            if (waitpid(pids[i], &status, WNOHANG) == pids[i]) {
+                reaped[i] = true;
+                --alive;
+                if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                    dice_warn("sweep: worker %zu died; its cells "
+                              "return to the queue",
+                              i);
+            }
+        }
+        if (progress)
+            printSweepProgress(batch, q.doneCount(), work.size(),
+                               m.workers, alive, false);
+        if (q.complete())
+            break;
+        if (alive == 0) {
+            // Every worker is gone (crashed, or never spawned): the
+            // coordinator claims and simulates what remains. Expired
+            // leases of the dead are broken inside claimNext.
+            busy_ms += drainSweepQueue(
+                q, work, jobs, [&](std::uint64_t) {
+                    if (progress)
+                        printSweepProgress(batch, q.doneCount(),
+                                           work.size(), m.workers, 0,
+                                           false);
+                });
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    }
+    // Workers exit on their own once they observe the batch complete.
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+        if (!reaped[i]) {
+            int status = 0;
+            waitpid(pids[i], &status, 0);
+        }
+    }
+    if (progress)
+        printSweepProgress(batch, work.size(), work.size(), m.workers,
+                           0, true);
+
+    const QueueStats qs = q.stats();
+    SweepTotals &totals = sweepTotals();
+    totals.coordinator.cells += qs.published;
+    totals.coordinator.stolen += qs.stolen;
+    totals.coordinator.requeued += qs.requeued;
+    totals.coordinator.busy_ms += busy_ms;
+    totals.coordinator.span_ms += elapsedMs(t0);
+    totals.coordinator.jobs = jobs;
+
+    for (const SimCell *c : work)
+        runWorkload(c->workload, c->config, c->cache_key);
+    accumulateWorkerSummaries();
+}
+
+/**
+ * Coordinator role, legacy static scheduler (DICE_SWEEP_STATIC=1):
+ * shard the batch across M re-spawned workers, wait on them while
+ * aggregating their heartbeats into one progress line, then merge by
+ * replaying the batch as cache loads in canonical order (simulating
+ * locally anything a worker failed to publish).
+ */
+void
+runCellsCoordinatorStatic(const std::vector<const SimCell *> &work,
+                          unsigned long batch)
 {
     const SweepMode &m = sweepMode();
     std::error_code ec;
     std::filesystem::create_directories(resultsDir(), ec);
-    for (unsigned i = 0; i < m.workers; ++i)
-        std::filesystem::remove(resultsDir() /
-                                    workerFile(i, ".heartbeat"),
-                                ec);
+    removeHeartbeats();
 
     std::vector<pid_t> pids;
     for (unsigned i = 0; i < m.workers; ++i) {
@@ -866,7 +1354,7 @@ runCellsCoordinator(const std::vector<const SimCell *> &work,
         }
         if (progress) {
             std::size_t done = 0, total = 0;
-            readHeartbeats(m.workers, batch, done, total);
+            readHeartbeats(batch, done, total);
             printSweepProgress(batch, done,
                                total != 0 ? total : work.size(),
                                m.workers, alive, alive == 0);
@@ -878,7 +1366,17 @@ runCellsCoordinator(const std::vector<const SimCell *> &work,
 
     for (const SimCell *c : work)
         runWorkload(c->workload, c->config, c->cache_key);
-    accumulateWorkerSummaries(m.workers);
+    accumulateWorkerSummaries();
+}
+
+void
+runCellsCoordinator(const std::vector<const SimCell *> &work,
+                    unsigned long batch)
+{
+    if (schedulerIsStatic())
+        runCellsCoordinatorStatic(work, batch);
+    else
+        runCellsCoordinatorQueue(work, batch);
 }
 
 #endif // !_WIN32
@@ -1103,6 +1601,10 @@ initSweepMode(int argc, char **argv)
                     : 0;
         } else if (arg == "--batch" && i + 1 < argc) {
             m.target_batch = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--join" && i + 1 < argc) {
+            m.role = SweepMode::Role::Join;
+            m.join_results = argv[i + 1] != nullptr ? argv[i + 1] : "";
+            ++i;
         } else {
             m.passthrough.push_back(arg);
         }
@@ -1117,9 +1619,14 @@ initSweepMode(int argc, char **argv)
         dice_warn("sweep: bad --worker i/M spec; running serially");
         m.role = SweepMode::Role::Serial;
     }
+    if (m.role == SweepMode::Role::Join && m.join_results.empty()) {
+        dice_warn("sweep: --join needs a results directory; "
+                  "running serially");
+        m.role = SweepMode::Role::Serial;
+    }
 #ifdef _WIN32
     if (m.role != SweepMode::Role::Serial) {
-        dice_warn("sweep: --serve/--worker are POSIX-only; "
+        dice_warn("sweep: --serve/--worker/--join are POSIX-only; "
                   "running serially");
         m.role = SweepMode::Role::Serial;
     }
@@ -1129,14 +1636,44 @@ initSweepMode(int argc, char **argv)
                   "cache; unset DICE_BENCH_NO_CACHE. Running serially");
         m.role = SweepMode::Role::Serial;
     }
-    if (m.role == SweepMode::Role::Worker) {
-        // Per-worker Chrome trace documents; initSweepMode runs before
-        // anything constructs the TraceLog, so the env is still live.
+    if (m.role == SweepMode::Role::Join) {
+        // The attached sweep's claim queue lives in its results
+        // directory; point this process's sweep plumbing there.
+        setenv("DICE_SWEEP_RESULTS", m.join_results.c_str(), 1);
+        // Participants exchange results through the persistent bench
+        // cache; an attaching worker must share the sweep's cache. By
+        // default the results dir is <cache>/results, so infer the
+        // cache from the parent unless the caller said otherwise.
+        if (std::getenv("DICE_BENCH_CACHE_DIR") == nullptr) {
+            const std::filesystem::path parent =
+                std::filesystem::path(m.join_results).parent_path();
+            if (!parent.empty())
+                setenv("DICE_BENCH_CACHE_DIR",
+                       parent.string().c_str(), 1);
+        }
+        if (!cacheEnabled()) {
+            dice_warn("sweep: --join shares work through the "
+                      "persistent cache; unset DICE_BENCH_NO_CACHE. "
+                      "Running serially");
+            m.role = SweepMode::Role::Serial;
+        } else if (std::freopen("/dev/null", "w", stdout) == nullptr) {
+            // The owning coordinator prints the tables; a join worker
+            // duplicating them would corrupt redirected sweep output.
+            dice_warn("sweep: cannot silence --join stdout");
+        }
+    }
+    if (m.role == SweepMode::Role::Worker ||
+        m.role == SweepMode::Role::Join) {
+        // Per-participant Chrome trace documents; initSweepMode runs
+        // before anything constructs the TraceLog, so the env is
+        // still live.
         const char *env = std::getenv("DICE_TRACE_OUT");
         if (env != nullptr && env[0] != '\0') {
             const std::string path =
-                std::string(env) + ".worker" +
-                std::to_string(m.worker_index);
+                std::string(env) +
+                (m.role == SweepMode::Role::Worker
+                     ? ".worker" + std::to_string(m.worker_index)
+                     : ".join" + std::to_string(claimPid()));
             setenv("DICE_TRACE_OUT", path.c_str(), 1);
         }
     }
@@ -1163,6 +1700,12 @@ runCells(const std::vector<SimCell> &cells)
 #ifndef _WIN32
     if (m.role == SweepMode::Role::Worker) {
         runCellsWorker(work, batch); // exits after its target batch
+        return;
+    }
+    if (m.role == SweepMode::Role::Join) {
+        // The owning coordinator writes the merged document and the
+        // sweep summary; a join worker only feeds the queue.
+        runCellsJoin(work, batch);
         return;
     }
     if (m.role == SweepMode::Role::Coordinator)

@@ -108,18 +108,34 @@ unsigned benchJobs();
  * bench main calls this first; with no recognized flags it is a no-op
  * and the binary runs serially (in-process thread pool only).
  *
- *  --serve M     Coordinator: each runCells batch is sharded across M
+ *  --serve M     Coordinator: each runCells batch is executed by M
  *                re-spawned copies of this binary (posix_spawn), which
- *                stream per-cell results into <cache>/results/ and the
- *                shared persistent caches. The coordinator merges in
+ *                pull cells from a shared work-stealing claim queue
+ *                (bench/sweep_queue.hpp: O_EXCL lease files, cost-
+ *                ordered longest-first, requeue-on-crash) and stream
+ *                per-cell results into <cache>/results/ and the shared
+ *                persistent caches. The coordinator merges in
  *                canonical cell order, so its stdout and merged
- *                documents are byte-identical to a serial run.
+ *                documents are byte-identical to a serial run even
+ *                when workers crash or extra workers join.
  *  --worker i/M  Worker i of M (spawned by --serve; not for hand use).
  *  --batch B     The runCells batch index a worker owns.
+ *  --join DIR    Attach to an in-flight sweep whose results directory
+ *                is DIR (possibly from another machine sharing the
+ *                filesystem): steal pending cells from its claim
+ *                queue, publish them, and exit. Own stdout is
+ *                suppressed — the coordinator renders the figure.
  *
  * Related environment: DICE_SWEEP_RESULTS overrides the results
  * directory, DICE_SWEEP_MERGED names a canonical merged JSON document
- * written (serially or distributed) after every batch.
+ * written (serially or distributed) after every batch,
+ * DICE_SWEEP_LEASE_STALE_S (default 30) is the lease staleness
+ * threshold for requeueing a dead holder's cells, and
+ * DICE_SWEEP_STATIC=1 reverts to the legacy static index-mod-M
+ * sharding (no stealing) for A/B comparison. Every distributed batch
+ * leaves <results>/sweep_summary.json describing how it executed:
+ * scheduler, total stolen/requeued, and per-participant cells,
+ * busy/span seconds, utilization, and trace-arena counters.
  */
 void initSweepMode(int argc, char **argv);
 

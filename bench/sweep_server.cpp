@@ -8,9 +8,18 @@
  * byte-diff the outputs:
  *
  *   sweep_server --sweep fig10 --workloads mcf,lbm --refs 2000
- *   sweep_server --serve 3 --sweep fig10 ...     # 3-worker sharded
+ *   sweep_server --serve 3 --sweep fig10 ...    # 3-worker distributed
+ *   sweep_server --join DIR --sweep fig10 ...   # attach extra hands
  *
- * Flags (besides the --serve/--worker/--batch sweep flags):
+ * --serve M spawns M workers that drain a shared work-stealing claim
+ * queue (see bench/sweep_queue.hpp); --join RESULTS_DIR attaches this
+ * process — from this host or any other sharing the filesystem — to
+ * an in-flight sweep's queue as an extra worker (pass the same
+ * --sweep/--workloads/--refs so it enumerates the same cells).
+ * DICE_SWEEP_STATIC=1 selects the legacy static index sharding for
+ * scheduler A/B comparisons.
+ *
+ * Flags (besides the --serve/--worker/--batch/--join sweep flags):
  *   --sweep NAME      Organization set: "fig10" (base/tsi/bai/dice/
  *                     2x2x, the default), "quick" (base/dice), or
  *                     "zoo" (every registry organization: base/tsi/

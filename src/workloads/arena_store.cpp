@@ -1,25 +1,15 @@
 #include "arena_store.hpp"
 
 #include <atomic>
-#include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "common/claim_file.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
-
-#ifdef _WIN32
-#include <io.h>
-#include <process.h>
-#else
-#include <fcntl.h>
-#include <signal.h>
-#include <unistd.h>
-#endif
 
 namespace dice
 {
@@ -56,71 +46,6 @@ putU64(std::string &out, std::uint64_t v)
     char buf[sizeof v];
     std::memcpy(buf, &v, sizeof v);
     out.append(buf, sizeof v);
-}
-
-long
-thisPid()
-{
-#ifdef _WIN32
-    return static_cast<long>(_getpid());
-#else
-    return static_cast<long>(getpid());
-#endif
-}
-
-std::string
-thisHost()
-{
-#ifdef _WIN32
-    const char *h = std::getenv("COMPUTERNAME");
-    return h != nullptr ? h : "unknown";
-#else
-    char buf[256] = {0};
-    if (gethostname(buf, sizeof buf - 1) != 0)
-        return "unknown";
-    return buf;
-#endif
-}
-
-/** Parse "pid <pid> host <host>" claim-file content. */
-bool
-parseClaim(const std::string &content, long &pid, std::string &host)
-{
-    std::size_t host_at = content.find(" host ");
-    if (content.rfind("pid ", 0) != 0 || host_at == std::string::npos)
-        return false;
-    pid = std::strtol(content.c_str() + 4, nullptr, 10);
-    host = content.substr(host_at + 6);
-    while (!host.empty() && (host.back() == '\n' || host.back() == '\r'))
-        host.pop_back();
-    return pid > 0 && !host.empty();
-}
-
-/** Whether a same-host pid still names a live process. */
-bool
-pidAlive(long pid)
-{
-#ifdef _WIN32
-    // No cheap liveness probe; rely on the mtime staleness fallback.
-    (void)pid;
-    return true;
-#else
-    return kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
-#endif
-}
-
-/** Seconds since @p path was last written (0 on stat failure). */
-std::uint64_t
-fileAgeSeconds(const std::filesystem::path &path)
-{
-    std::error_code ec;
-    const auto mtime = std::filesystem::last_write_time(path, ec);
-    if (ec)
-        return 0;
-    const auto now = std::filesystem::file_time_type::clock::now();
-    const auto age =
-        std::chrono::duration_cast<std::chrono::seconds>(now - mtime);
-    return age.count() > 0 ? static_cast<std::uint64_t>(age.count()) : 0;
 }
 
 } // namespace
@@ -249,7 +174,7 @@ ArenaStore::save(const ArenaStoreKey &key, const TraceSet &set) const
     static std::atomic<std::uint64_t> counter{0};
     const std::filesystem::path path = resultPath(key);
     std::filesystem::path tmp = path;
-    tmp += ".tmp." + std::to_string(thisPid()) + "." +
+    tmp += ".tmp." + std::to_string(claimPid()) + "." +
            std::to_string(counter.fetch_add(1));
     {
         std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
@@ -294,35 +219,23 @@ ArenaStore::tryClaim(const ArenaStoreKey &key, Claim &claim) const
     const std::filesystem::path path = claimPath(key);
 
     for (int attempt = 0; attempt < 2; ++attempt) {
-#ifdef _WIN32
-        // No O_EXCL-equivalent portability shim is worth it here: the
-        // distributed sweep path is POSIX-only, so on Windows every
-        // process just generates its own copy.
-        return true;
-#else
-        const int fd = ::open(path.c_str(),
-                              O_CREAT | O_EXCL | O_WRONLY, 0644);
-        if (fd >= 0) {
-            const std::string body = "pid " + std::to_string(thisPid()) +
-                                     " host " + thisHost() + "\n";
-            // A short or failed write still leaves a valid claim file;
-            // its content only feeds liveness heuristics.
-            (void)!::write(fd, body.data(), body.size());
-            ::close(fd);
+        switch (createClaimFile(path)) {
+          case ClaimAttempt::Acquired:
             claim.path_ = path;
             return true;
+          case ClaimAttempt::Error:
+            // Unclaimable dir (read-only, or a platform without
+            // O_EXCL): just generate a private copy.
+            return true;
+          case ClaimAttempt::Busy:
+            break;
         }
-        if (errno != EEXIST)
-            return true; // unclaimable dir (read-only?): just generate
-
-        if (!claimHolderAlive(key)) {
-            dice_warn("arena: breaking stale claim %s",
-                      path.string().c_str());
-            std::filesystem::remove(path, ec);
-            continue; // retake via O_EXCL so breakers cannot race
-        }
-        return false;
-#endif
+        if (claimHolderAlive(key))
+            return false;
+        dice_warn("arena: breaking stale claim %s",
+                  path.string().c_str());
+        std::filesystem::remove(path, ec);
+        // Retake via O_EXCL so racing breakers cannot both win.
     }
     return false;
 }
@@ -330,24 +243,9 @@ ArenaStore::tryClaim(const ArenaStoreKey &key, Claim &claim) const
 bool
 ArenaStore::claimHolderAlive(const ArenaStoreKey &key) const
 {
-    const std::filesystem::path path = claimPath(key);
-    std::ifstream in(path);
-    if (!in)
-        return false; // no claim file: holder finished or died cleanly
-    std::string content((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-
-    long pid = 0;
-    std::string host;
-    if (parseClaim(content, pid, host)) {
-        if (host == thisHost() && !pidAlive(pid))
-            return false;
-    }
-    // Shared-filesystem fallback: a claim from another host (or an
-    // unparseable one) is presumed live until it outlives the stale
-    // threshold. Generation takes seconds, so a claim this old means
-    // the holder is gone.
-    return fileAgeSeconds(path) < staleClaimSeconds();
+    // Generation takes seconds, so a claim older than the stale
+    // threshold means the holder is gone.
+    return claimFileLive(claimPath(key), staleClaimSeconds());
 }
 
 } // namespace dice

@@ -27,7 +27,8 @@
  * caller regenerates and rewrites it).
  *
  * Cross-process dedup: before generating, a worker takes a claim file
- * (`<key>.claim`, created with O_EXCL) naming its pid and host. Other
+ * (`<key>.claim`, created with O_EXCL via the shared claim/lease
+ * protocol in common/claim_file.hpp) naming its pid and host. Other
  * workers that miss on the same key wait for the claim holder's
  * result instead of generating a duplicate. A claim whose process has
  * died (same host, pid gone) or whose file has gone stale (mtime
