@@ -12,6 +12,7 @@
 #include <shared_mutex>
 #include <sstream>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 
 #include <chrono>
@@ -23,6 +24,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/sweep_events.hpp"
 #include "common/telemetry.hpp"
 #include "common/trace_events.hpp"
 
@@ -571,6 +573,10 @@ struct ParticipantAgg
     std::uint64_t busy_ms = 0;
     std::uint64_t span_ms = 0;
     unsigned jobs = 1;
+    /** Phase-latency histograms (exact cross-batch merge). */
+    std::array<LogHistogram, kSweepPhases> phases;
+    std::string slowest_cell;
+    std::uint64_t slowest_us = 0;
 };
 
 /** Cross-batch totals of what worker processes reported, plus the
@@ -599,6 +605,57 @@ sweepTotals()
     return totals;
 }
 
+/**
+ * Open this process's event journal (once) when DICE_SWEEP_EVENTS is
+ * set. The participant name matches the role: "coordinator",
+ * "worker<i>", "join<pid>", or "serial". The coordinator (or a serial
+ * run) owns the results directory, so it clears journals left by a
+ * previous run of the same directory first — workers and --join
+ * attachers append (a respawned worker's later batches become new
+ * segments of the same journal).
+ */
+void
+maybeOpenSweepJournal()
+{
+    static bool attempted = false;
+    if (attempted || !sweepEventsEnabled())
+        return;
+    attempted = true;
+    const SweepMode &m = sweepMode();
+    std::string name = "serial";
+    bool owner = true;
+    switch (m.role) {
+      case SweepMode::Role::Coordinator:
+        name = "coordinator";
+        break;
+      case SweepMode::Role::Worker:
+        name = "worker" + std::to_string(m.worker_index);
+        owner = false;
+        break;
+      case SweepMode::Role::Join:
+        name = "join" + std::to_string(claimPid());
+        owner = false;
+        break;
+      case SweepMode::Role::Serial:
+        break;
+    }
+    const std::filesystem::path events = resultsDir() / "events";
+    if (owner) {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(events, ec);
+        if (!ec) {
+            std::vector<std::filesystem::path> stale;
+            for (const auto &entry : it) {
+                if (entry.path().extension() == ".jsonl")
+                    stale.push_back(entry.path());
+            }
+            for (const std::filesystem::path &p : stale)
+                std::filesystem::remove(p, ec);
+        }
+    }
+    SweepJournal::instance().open(events, name);
+}
+
 #ifndef _WIN32
 
 /**
@@ -612,58 +669,41 @@ writeHeartbeat(const std::string &name, unsigned long batch,
                std::size_t done, std::size_t total,
                const QueueStats &qs, std::uint64_t busy_ms)
 {
-    char buf[192];
-    std::snprintf(buf, sizeof buf,
-                  "batch %lu done %zu total %zu stolen %llu requeued "
-                  "%llu busy_ms %llu\n",
-                  batch, done, total,
-                  static_cast<unsigned long long>(qs.stolen),
-                  static_cast<unsigned long long>(qs.requeued),
-                  static_cast<unsigned long long>(busy_ms));
-    atomicWriteFile(resultsDir() / (name + ".heartbeat"), buf);
+    HeartbeatRecord hb;
+    hb.batch = batch;
+    hb.done = done;
+    hb.total = total;
+    hb.stolen = qs.stolen;
+    hb.requeued = qs.requeued;
+    hb.busy_ms = busy_ms;
+    atomicWriteFile(resultsDir() / (name + ".heartbeat"),
+                    renderHeartbeat(hb));
 }
 
 /**
  * Sum of all live participant heartbeats for @p batch. Heartbeats are
  * written atomically, so a malformed file is foreign garbage, not a
- * torn write: it is rejected with a warning and removed — never
- * silently folded into the totals.
+ * torn write: forEachParticipantFile rejects it with a (once-per-path)
+ * warning and removes it — never silently folds it into the totals.
  */
 void
 readHeartbeats(unsigned long batch, std::size_t &done,
                std::size_t &total)
 {
     done = total = 0;
-    std::error_code ec;
-    std::filesystem::directory_iterator it(resultsDir(), ec);
-    if (ec)
-        return;
-    for (const auto &entry : it) {
-        if (entry.path().extension() != ".heartbeat")
-            continue;
-        std::ifstream in(entry.path());
-        if (!in)
-            continue;
-        std::string content((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
-        unsigned long b = 0;
-        std::size_t d = 0, t = 0;
-        unsigned long long stolen = 0, requeued = 0, busy = 0;
-        if (std::sscanf(content.c_str(),
-                        "batch %lu done %zu total %zu stolen %llu "
-                        "requeued %llu busy_ms %llu",
-                        &b, &d, &t, &stolen, &requeued, &busy) != 6 ||
-            d > t) {
-            dice_warn("sweep: removing garbled heartbeat %s",
-                      entry.path().string().c_str());
-            std::filesystem::remove(entry.path(), ec);
-            continue;
-        }
-        if (b == batch) {
-            done += d;
-            total += t;
-        }
-    }
+    forEachParticipantFile(
+        resultsDir(), ".heartbeat", /*remove_garbled=*/true,
+        [batch, &done, &total](const std::filesystem::path &,
+                               const std::string &content) {
+            HeartbeatRecord hb;
+            if (!parseHeartbeat(content, hb))
+                return false;
+            if (hb.batch == batch) {
+                done += hb.done;
+                total += hb.total;
+            }
+            return true;
+        });
 }
 
 /** The coordinator's single aggregated progress line (stderr). */
@@ -700,6 +740,13 @@ spawnWorker(unsigned index, unsigned long batch)
         argv.push_back(a.data());
     argv.push_back(nullptr);
 
+    // The spawn mark goes to the journal *before* the spawn itself:
+    // the timeline merge uses "a worker's epoch cannot precede its
+    // spawn mark" as a hard causal constraint when aligning clocks,
+    // which only holds if the mark is durable first.
+    SweepJournal::instance().mark("spawn",
+                                  "worker" + std::to_string(index));
+
     // Workers would duplicate the coordinator's stdout tables; their
     // real output is the shared caches and the results directory.
     posix_spawn_file_actions_t fa;
@@ -722,99 +769,107 @@ spawnWorker(unsigned index, unsigned long batch)
     return pid;
 }
 
+/** Map a summary-transport hist name back to its SweepPhase slot
+ *  (kSweepPhases when unknown — a newer writer's phase). */
+unsigned
+phaseIndexByName(const std::string &name)
+{
+    for (unsigned i = 0; i < kSweepPhases; ++i) {
+        if (name == sweepPhaseName(static_cast<SweepPhase>(i)))
+            return i;
+    }
+    return kSweepPhases;
+}
+
 /**
  * Fold finished participants' summary files into the cross-batch
  * totals (consumed on read so a later batch never double-counts).
  * Summaries are written atomically; anything that fails to parse is
- * foreign garbage, rejected with a warning and removed — never
- * silently folded into the totals.
+ * foreign garbage, rejected by forEachParticipantFile with a
+ * (once-per-path) warning and removed — never silently folded into
+ * the totals.
  */
 void
 accumulateWorkerSummaries()
 {
     SweepTotals &totals = sweepTotals();
-    std::error_code ec;
-    std::filesystem::directory_iterator it(resultsDir(), ec);
-    if (ec)
-        return;
-    std::vector<std::filesystem::path> files;
-    for (const auto &entry : it) {
-        if (entry.path().extension() == ".summary")
-            files.push_back(entry.path());
-    }
-    for (const std::filesystem::path &path : files) {
-        std::ifstream in(path);
-        if (!in)
-            continue;
-        std::string content((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
-        unsigned long batch = 0;
-        unsigned jobs = 0;
-        unsigned long long cells = 0, stolen = 0, requeued = 0;
-        unsigned long long busy = 0, span = 0;
-        unsigned long long gens = 0, disk = 0, spills = 0;
-        if (std::sscanf(content.c_str(),
-                        "batch %lu cells %llu stolen %llu requeued "
-                        "%llu busy_ms %llu span_ms %llu jobs %u "
-                        "generations %llu disk_hits %llu spills %llu",
-                        &batch, &cells, &stolen, &requeued, &busy,
-                        &span, &jobs, &gens, &disk, &spills) != 10 ||
-            jobs == 0) {
-            dice_warn("sweep: removing garbled worker summary %s",
-                      path.string().c_str());
+    forEachParticipantFile(
+        resultsDir(), ".summary", /*remove_garbled=*/true,
+        [&totals](const std::filesystem::path &path,
+                  const std::string &content) {
+            SummaryRecord s;
+            if (!parseSummary(content, s))
+                return false;
+            totals.worker_cells += s.cells;
+            totals.worker_generations += s.generations;
+            totals.worker_disk_hits += s.disk_hits;
+            totals.worker_spills += s.spills;
+            totals.worker_stolen += s.stolen;
+            totals.worker_requeued += s.requeued;
+            totals.worker_busy_ms += s.busy_ms;
+            totals.worker_span_jobs_ms += s.span_ms * s.jobs;
+            ParticipantAgg &agg =
+                totals.per_worker[path.stem().string()];
+            agg.cells += s.cells;
+            agg.stolen += s.stolen;
+            agg.requeued += s.requeued;
+            agg.busy_ms += s.busy_ms;
+            agg.span_ms += s.span_ms;
+            agg.jobs = s.jobs;
+            for (const auto &[name, h] : s.hists) {
+                const unsigned p = phaseIndexByName(name);
+                if (p < kSweepPhases)
+                    agg.phases[p].merge(h);
+            }
+            if (s.slowest_us > agg.slowest_us) {
+                agg.slowest_us = s.slowest_us;
+                agg.slowest_cell = s.slowest_cell;
+            }
+            std::error_code ec;
             std::filesystem::remove(path, ec);
-            continue;
-        }
-        totals.worker_cells += cells;
-        totals.worker_generations += gens;
-        totals.worker_disk_hits += disk;
-        totals.worker_spills += spills;
-        totals.worker_stolen += stolen;
-        totals.worker_requeued += requeued;
-        totals.worker_busy_ms += busy;
-        totals.worker_span_jobs_ms += span * jobs;
-        ParticipantAgg &agg = totals.per_worker[path.stem().string()];
-        agg.cells += cells;
-        agg.stolen += stolen;
-        agg.requeued += requeued;
-        agg.busy_ms += busy;
-        agg.span_ms += span;
-        agg.jobs = jobs;
-        std::filesystem::remove(path, ec);
-    }
+            return true;
+        });
 }
 
 /**
- * Render one participant's summary-file line. Arena counters are
- * process-cumulative, so the caller passes the snapshot taken at
- * batch start (@p since) and the line reports the delta — a
- * multi-batch participant (a --join worker) never double-counts
- * generations across its summaries.
+ * Render one participant's summary file. Arena counters and phase
+ * histograms are process-cumulative, so the caller passes the
+ * snapshots taken at batch start (@p since / @p phases_since) and the
+ * summary reports the deltas — a multi-batch participant (a --join
+ * worker) never double-counts across its summaries. The slowest-cell
+ * record stays cumulative: it merges by max, which is idempotent.
  */
 std::string
 summaryLine(unsigned long batch, std::uint64_t cells,
             const QueueStats &qs, std::uint64_t busy_ms,
             std::uint64_t span_ms, unsigned jobs,
-            const TraceArena::Stats &since)
+            const TraceArena::Stats &since,
+            const std::array<LogHistogram, kSweepPhases> &phases_since)
 {
     const TraceArena::Stats now = TraceArena::instance().stats();
-    char buf[256];
-    std::snprintf(
-        buf, sizeof buf,
-        "batch %lu cells %llu stolen %llu requeued %llu busy_ms %llu "
-        "span_ms %llu jobs %u generations %llu disk_hits %llu "
-        "spills %llu\n",
-        batch, static_cast<unsigned long long>(cells),
-        static_cast<unsigned long long>(qs.stolen),
-        static_cast<unsigned long long>(qs.requeued),
-        static_cast<unsigned long long>(busy_ms),
-        static_cast<unsigned long long>(span_ms), jobs,
-        static_cast<unsigned long long>(now.generations -
-                                        since.generations),
-        static_cast<unsigned long long>(now.disk_hits -
-                                        since.disk_hits),
-        static_cast<unsigned long long>(now.spills - since.spills));
-    return buf;
+    SummaryRecord s;
+    s.batch = batch;
+    s.cells = cells;
+    s.stolen = qs.stolen;
+    s.requeued = qs.requeued;
+    s.busy_ms = busy_ms;
+    s.span_ms = span_ms;
+    s.jobs = jobs;
+    s.generations = now.generations - since.generations;
+    s.disk_hits = now.disk_hits - since.disk_hits;
+    s.spills = now.spills - since.spills;
+    const std::array<LogHistogram, kSweepPhases> phases =
+        SweepMetrics::instance().snapshotAll();
+    for (unsigned i = 0; i < kSweepPhases; ++i) {
+        const LogHistogram delta =
+            phases[i].subtracted(phases_since[i]);
+        if (delta.count() > 0)
+            s.hists.emplace_back(
+                sweepPhaseName(static_cast<SweepPhase>(i)), delta);
+    }
+    std::tie(s.slowest_cell, s.slowest_us) =
+        SweepMetrics::instance().slowestCell();
+    return renderSummary(s);
 }
 
 #endif // !_WIN32
@@ -828,11 +883,52 @@ summaryLine(unsigned long batch, std::uint64_t cells,
  * warm arena rerun generated zero streams and that a skewed sweep
  * actually stole work.
  */
+/** One histogram as a JSON object of its summary statistics. */
+void
+appendHistJson(std::string &out, const LogHistogram &h)
+{
+    out += "{\"count\": ";
+    out += std::to_string(h.count());
+    out += ", \"sum_us\": ";
+    out += std::to_string(h.sum());
+    out += ", \"mean_us\": ";
+    appendJsonNumber(out, h.mean());
+    out += ", \"max_us\": ";
+    out += std::to_string(h.max());
+    out += ", \"p50_us\": ";
+    appendJsonNumber(out, h.percentile(0.50));
+    out += ", \"p90_us\": ";
+    appendJsonNumber(out, h.percentile(0.90));
+    out += ", \"p99_us\": ";
+    appendJsonNumber(out, h.percentile(0.99));
+    out += "}";
+}
+
 void
 writeSweepSummary()
 {
     const TraceArena::Stats arena = TraceArena::instance().stats();
     const SweepTotals &totals = sweepTotals();
+
+    // Phase latencies merged across every participant: the
+    // coordinator's own in-process histograms plus each worker's
+    // summary-transported deltas. The merge is exact (fixed
+    // power-of-two bucket edges), so these percentiles are what one
+    // process sampling every cell would have reported.
+    std::array<LogHistogram, kSweepPhases> merged =
+        SweepMetrics::instance().snapshotAll();
+    std::string slowest_cell;
+    std::uint64_t slowest_us = 0;
+    std::tie(slowest_cell, slowest_us) =
+        SweepMetrics::instance().slowestCell();
+    for (const auto &[name, agg] : totals.per_worker) {
+        for (unsigned i = 0; i < kSweepPhases; ++i)
+            merged[i].merge(agg.phases[i]);
+        if (agg.slowest_us > slowest_us) {
+            slowest_us = agg.slowest_us;
+            slowest_cell = agg.slowest_cell;
+        }
+    }
     // busy / (span × jobs): 1.0 means every claim-loop thread
     // simulated for the participant's whole wall-clock span.
     const auto utilization = [](std::uint64_t busy_ms,
@@ -920,10 +1016,47 @@ writeSweepSummary()
         out += ", \"utilization\": ";
         appendJsonNumber(
             out, utilization(agg.busy_ms, agg.span_ms, agg.jobs));
+        out += ", \"cell_us\": ";
+        appendHistJson(out,
+                       agg.phases[static_cast<unsigned>(
+                           SweepPhase::Cell)]);
         out += "}";
     }
-    out += first ? "],\n \"total_generations\": "
-                 : "\n ],\n \"total_generations\": ";
+    out += first ? "],\n \"phase_latency_us\": {"
+                 : "\n ],\n \"phase_latency_us\": {";
+    for (unsigned i = 0; i < kSweepPhases; ++i) {
+        out += i == 0 ? "\n  \"" : ",\n  \"";
+        out += sweepPhaseName(static_cast<SweepPhase>(i));
+        out += "\": ";
+        appendHistJson(out, merged[i]);
+    }
+    out += "\n },\n \"slowest_cell\": {\"cell\": \"";
+    appendJsonEscaped(out, slowest_cell);
+    out += "\", \"us\": ";
+    out += std::to_string(slowest_us);
+    out += "},\n \"warnings\": [";
+    {
+        const std::vector<std::string> warnings = sweepAnomalyWarnings(
+            merged[static_cast<unsigned>(SweepPhase::Cell)],
+            slowest_cell, slowest_us,
+            totals.worker_requeued + totals.coordinator.requeued,
+            totals.worker_cells + totals.coordinator.cells,
+            sweepStragglerK());
+        bool first_warn = true;
+        for (const std::string &w : warnings) {
+            out += first_warn ? "\n  \"" : ",\n  \"";
+            first_warn = false;
+            appendJsonEscaped(out, w);
+            out += "\"";
+            // Only a distributed run's coordinator escalates to
+            // stderr — a serial run exporting a summary keeps the
+            // anomalies in the JSON alone.
+            if (sweepMode().role == SweepMode::Role::Coordinator)
+                dice_warn("sweep: %s", w.c_str());
+        }
+        out += first_warn ? "]" : "\n ]";
+    }
+    out += ",\n \"total_generations\": ";
     out += std::to_string(arena.generations + totals.worker_generations);
     out += "\n}\n";
     std::error_code ec;
@@ -965,6 +1098,22 @@ writeSweepOutputs()
     if (sweepMode().role == SweepMode::Role::Coordinator ||
         !sweepResultsDir().empty())
         writeSweepSummary();
+
+    // Merge every participant's event journal into one Chrome trace
+    // after each batch (cheap: journals are small), so the timeline is
+    // inspectable mid-sweep and survives a killed coordinator. The
+    // standalone bench/sweep_timeline tool re-runs the same merge.
+    if (sweepEventsEnabled()) {
+        const std::string custom = sweepTimelinePath();
+        const std::filesystem::path out_path =
+            custom.empty() ? resultsDir() / "timeline.json"
+                           : std::filesystem::path(custom);
+        std::string error;
+        if (!mergeSweepTimeline(resultsDir() / "events", out_path,
+                                &error))
+            dice_warn("sweep: timeline merge failed: %s",
+                      error.c_str());
+    }
 }
 
 /** The classic engine: a benchJobs()-sized in-process thread pool. */
@@ -1019,8 +1168,17 @@ drainSweepQueue(SweepQueue &q, const std::vector<const SimCell *> &work,
 {
     std::atomic<std::uint64_t> busy_ms{0};
     parallelFor(jobs, jobs, [&](std::size_t) {
+        // How long this claim loop has been idle: feeds the
+        // claim-wait latency histogram and the journal's claim events
+        // (the distributed analogue of run-queue wait).
+        auto free_since = std::chrono::steady_clock::now();
         for (;;) {
-            const std::optional<std::size_t> idx = q.claimNext();
+            const std::uint64_t wait_us = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - free_since)
+                    .count());
+            const std::optional<std::size_t> idx =
+                q.claimNext(wait_us);
             if (!idx) {
                 if (q.complete())
                     return;
@@ -1038,6 +1196,7 @@ drainSweepQueue(SweepQueue &q, const std::vector<const SimCell *> &work,
             q.publish(*idx,
                       resultJson(c->workload, c->cache_key, r) + "\n");
             after_cell(busy);
+            free_since = std::chrono::steady_clock::now();
         }
     });
     return busy_ms.load();
@@ -1066,6 +1225,8 @@ runCellsQueueParticipant(const std::vector<const SimCell *> &work,
     const unsigned jobs = benchJobs();
     const auto t0 = std::chrono::steady_clock::now();
     const TraceArena::Stats since = TraceArena::instance().stats();
+    const std::array<LogHistogram, kSweepPhases> phases_since =
+        SweepMetrics::instance().snapshotAll();
     // The summary is rewritten (atomically) after every publish, not
     // only at the end: completion detection lags the last publish by
     // a poll interval, and the accumulating coordinator must find the
@@ -1077,7 +1238,8 @@ runCellsQueueParticipant(const std::vector<const SimCell *> &work,
         const QueueStats qs = q.stats();
         atomicWriteFile(resultsDir() / (name + ".summary"),
                         summaryLine(batch, qs.published, qs, busy_ms,
-                                    elapsedMs(t0), jobs, since));
+                                    elapsedMs(t0), jobs, since,
+                                    phases_since));
     };
     writeHeartbeat(name, batch, 0, work.size(), QueueStats{}, 0);
     write_summary(0);
@@ -1123,6 +1285,8 @@ runCellsWorkerStatic(const std::vector<const SimCell *> &work,
     const unsigned jobs = benchJobs();
     const auto t0 = std::chrono::steady_clock::now();
     const TraceArena::Stats since = TraceArena::instance().stats();
+    const std::array<LogHistogram, kSweepPhases> phases_since =
+        SweepMetrics::instance().snapshotAll();
     std::atomic<std::size_t> done{0};
     std::atomic<std::uint64_t> busy_ms{0};
     writeHeartbeat(name, batch, 0, mine.size(), QueueStats{}, 0);
@@ -1143,7 +1307,7 @@ runCellsWorkerStatic(const std::vector<const SimCell *> &work,
     atomicWriteFile(resultsDir() / (name + ".summary"),
                     summaryLine(batch, mine.size(), QueueStats{},
                                 busy_ms.load(), elapsedMs(t0), jobs,
-                                since));
+                                since, phases_since));
 }
 
 /**
@@ -1537,12 +1701,33 @@ runWorkload(const std::string &workload, const SystemConfig &config,
             std::fprintf(stderr, "[sim] %s / %s ...\n", workload.c_str(),
                          cache_key.c_str());
         }
+        const auto usSince =
+            [](std::chrono::steady_clock::time_point t) {
+                return static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t)
+                        .count());
+            };
+        const std::string stem =
+            sanitizeFileStem(workload + "_" + cache_key);
+        SweepJournal &jr = SweepJournal::instance();
+        SweepMetrics &sm = SweepMetrics::instance();
+        const auto cell_t0 = std::chrono::steady_clock::now();
+        const std::uint64_t cell_m0 = jr.enabled() ? jr.monoUs() : 0;
+        if (jr.enabled())
+            jr.begin("cell", stem);
         TraceSpan cell_span("cell", workload + "/" + cache_key,
                             cellArgsJson(workload, cache_key));
         std::vector<WorkloadProfile> profiles =
             workloadProfiles(workload, config.num_cores);
         std::shared_ptr<const TraceSet> replay;
         if (arenaEnabled()) {
+            const auto gen_t0 = std::chrono::steady_clock::now();
+            const std::uint64_t gen_m0 =
+                jr.enabled() ? jr.monoUs() : 0;
+            if (jr.enabled())
+                jr.begin("generate", stem);
             TraceSpan gen_span("generate", workload);
             // +1: the simulator primes one reference ahead of the
             // warmup + measurement budget.
@@ -1551,13 +1736,39 @@ runWorkload(const std::string &workload, const SystemConfig &config,
                 config.reference_capacity,
                 config.warmup_refs_per_core + config.refs_per_core + 1,
                 profiles, benchJobs());
+            const std::uint64_t gen_us = usSince(gen_t0);
+            sm.sample(SweepPhase::Generate, gen_us);
+            if (jr.enabled())
+                jr.phase("generate", stem, gen_m0, gen_us);
         }
         System sys(config, std::move(profiles), std::move(replay));
         {
+            const auto sim_t0 = std::chrono::steady_clock::now();
+            const std::uint64_t sim_m0 =
+                jr.enabled() ? jr.monoUs() : 0;
+            if (jr.enabled())
+                jr.begin("simulate", stem);
             TraceSpan sim_span("simulate", workload + "/" + cache_key);
             computed = sys.run();
+            const std::uint64_t sim_us = usSince(sim_t0);
+            sm.sample(SweepPhase::Simulate, sim_us);
+            if (jr.enabled())
+                jr.phase("simulate", stem, sim_m0, sim_us);
         }
-        exportCellStats(sys, workload, cache_key);
+        {
+            const auto exp_t0 = std::chrono::steady_clock::now();
+            const std::uint64_t exp_m0 =
+                jr.enabled() ? jr.monoUs() : 0;
+            exportCellStats(sys, workload, cache_key);
+            const std::uint64_t exp_us = usSince(exp_t0);
+            sm.sample(SweepPhase::Export, exp_us);
+            if (jr.enabled())
+                jr.phase("export", stem, exp_m0, exp_us);
+        }
+        const std::uint64_t cell_us = usSince(cell_t0);
+        sm.noteCell(stem, cell_us);
+        if (jr.enabled())
+            jr.phase("cell", stem, cell_m0, cell_us);
         g_simulated_refs.fetch_add(
             (config.warmup_refs_per_core + config.refs_per_core) *
                 config.num_cores,
@@ -1695,6 +1906,7 @@ runCells(const std::vector<SimCell> &cells)
     }
     registerCells(work);
     const unsigned long batch = g_batch_counter.fetch_add(1);
+    maybeOpenSweepJournal();
 
     const SweepMode &m = sweepMode();
 #ifndef _WIN32

@@ -134,8 +134,14 @@ unsigned benchJobs();
  * DICE_SWEEP_STATIC=1 reverts to the legacy static index-mod-M
  * sharding (no stealing) for A/B comparison. Every distributed batch
  * leaves <results>/sweep_summary.json describing how it executed:
- * scheduler, total stolen/requeued, and per-participant cells,
- * busy/span seconds, utilization, and trace-arena counters.
+ * scheduler, total stolen/requeued, per-participant cells, busy/span
+ * seconds, utilization, trace-arena counters, merged per-phase
+ * latency percentiles (phase_latency_us), the slowest cell, and
+ * anomaly warnings (straggler threshold DICE_SWEEP_STRAGGLER_K,
+ * default 4 x p90). DICE_SWEEP_EVENTS=1 additionally journals every
+ * participant's events to <results>/events/*.jsonl and merges them
+ * into a Chrome trace at <results>/timeline.json (override with
+ * DICE_SWEEP_TIMELINE); see README "Sweep observability".
  */
 void initSweepMode(int argc, char **argv);
 

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Live sweep status: a read-only `top` over a sweep results directory.
+ *
+ * Usage: sweep_top <results_dir> [--once] [--interval <seconds>]
+ *
+ * Renders, refreshed in place on a tty (or once with --once, for CI
+ * and scripts):
+ *  - overall batch progress, queue depth, publish rate, and an ETA
+ *    estimated from the rate of appearing per-cell documents;
+ *  - one row per participant: published progress, steal/requeue
+ *    counts, busy time, and — when the sweep runs with
+ *    DICE_SWEEP_EVENTS=1 — the cell currently in flight with its
+ *    elapsed phase, straight from the participant's event journal.
+ *
+ * Strictly read-only: it never removes, rewrites, or locks anything
+ * under the results directory, so it is safe to point at a sweep
+ * owned by another user or another host. Garbled files are ignored
+ * (warned once), never removed — that hygiene belongs to the
+ * coordinator.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "sweep_queue.hpp"
+
+#include "common/sweep_events.hpp"
+
+namespace
+{
+
+using dice::JournalEvent;
+using dice::ParticipantJournal;
+using dice::bench::forEachParticipantFile;
+using dice::bench::HeartbeatRecord;
+using dice::bench::parseHeartbeat;
+
+std::uint64_t
+nowWallUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** What a participant's journal says it is doing right now. */
+struct InFlight
+{
+    std::string cell;
+    std::string phase;   ///< Deepest begun phase of that cell.
+    std::uint64_t since_wall_us = 0;
+};
+
+/**
+ * The last segment's unfinished cell, if any: the latest "begin cell"
+ * with no later publish or completed "cell" phase for the same cell.
+ * A crashed worker's journal reports its final cell forever — which
+ * is exactly the post-mortem one wants to see.
+ */
+bool
+inFlightOf(const ParticipantJournal &p, InFlight &out)
+{
+    const int last_seg = static_cast<int>(p.segments.size()) - 1;
+    bool active = false;
+    for (const JournalEvent &e : p.events) {
+        if (e.segment != last_seg)
+            continue;
+        if (e.ev == "begin" && e.phase == "cell") {
+            out.cell = e.cell;
+            out.phase = "cell";
+            out.since_wall_us = e.wall_us;
+            active = true;
+        } else if (active && e.ev == "begin" && e.cell == out.cell) {
+            out.phase = e.phase;
+        } else if (active &&
+                   (e.ev == "publish" ||
+                    (e.ev == "phase" && e.phase == "cell")) &&
+                   e.cell == out.cell) {
+            active = false;
+        }
+    }
+    return active;
+}
+
+std::string
+humanSeconds(double s)
+{
+    char buf[32];
+    if (s >= 3600.0)
+        std::snprintf(buf, sizeof buf, "%.1fh", s / 3600.0);
+    else if (s >= 60.0)
+        std::snprintf(buf, sizeof buf, "%.1fm", s / 60.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fs", s);
+    return buf;
+}
+
+struct Snapshot
+{
+    unsigned long batch = 0;
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::size_t docs = 0;
+    std::map<std::string, HeartbeatRecord> participants;
+    std::map<std::string, InFlight> in_flight;
+};
+
+Snapshot
+collect(const std::filesystem::path &results_dir)
+{
+    Snapshot snap;
+    // Heartbeats: each participant's is a view of the same batch, and
+    // under the queue scheduler its "done" already counts everyone's
+    // published documents; take the freshest batch and its max.
+    forEachParticipantFile(
+        results_dir, ".heartbeat", /*remove_garbled=*/false,
+        [&snap](const std::filesystem::path &path,
+                const std::string &content) {
+            HeartbeatRecord hb;
+            if (!parseHeartbeat(content, hb))
+                return false;
+            snap.participants[path.stem().string()] = hb;
+            if (hb.batch > snap.batch) {
+                snap.batch = hb.batch;
+                snap.done = 0;
+                snap.total = 0;
+            }
+            if (hb.batch == snap.batch) {
+                snap.done = std::max(snap.done, hb.done);
+                snap.total = std::max(snap.total, hb.total);
+            }
+            return true;
+        });
+
+    std::error_code ec;
+    std::filesystem::directory_iterator it(results_dir, ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            if (entry.path().string().size() > 10 &&
+                entry.path().string().rfind(".cell.json") ==
+                    entry.path().string().size() - 10)
+                ++snap.docs;
+        }
+    }
+
+    // Event journals (optional): in-flight cells with elapsed phase.
+    std::filesystem::directory_iterator jt(results_dir / "events", ec);
+    if (!ec) {
+        for (const auto &entry : jt) {
+            if (entry.path().extension() != ".jsonl")
+                continue;
+            ParticipantJournal p;
+            if (!dice::readJournal(entry.path(), p))
+                continue;
+            InFlight fl;
+            if (inFlightOf(p, fl))
+                snap.in_flight[p.name] = fl;
+        }
+    }
+    return snap;
+}
+
+void
+render(const Snapshot &snap, double elapsed_s, std::size_t docs_at_start,
+       bool clear)
+{
+    if (clear)
+        std::printf("\033[H\033[2J");
+
+    const std::size_t done = std::max(snap.done, snap.docs);
+    const double rate =
+        elapsed_s > 0.0
+            ? static_cast<double>(snap.docs - docs_at_start) / elapsed_s
+            : 0.0;
+    std::printf("[sweep_top] batch %lu: %zu/%zu cells published",
+                snap.batch, done, snap.total);
+    if (snap.total > done && rate > 0.0) {
+        std::printf(" | %.2f cells/s | ETA %s", rate,
+                    humanSeconds(static_cast<double>(snap.total - done) /
+                                 rate)
+                        .c_str());
+    }
+    std::printf("\n\n%-14s %8s %8s %8s %8s  %s\n", "participant",
+                "done", "stolen", "requeue", "busy", "in flight");
+
+    const std::uint64_t now_us = nowWallUs();
+    for (const auto &[name, hb] : snap.participants) {
+        std::string flight = "-";
+        const auto fl = snap.in_flight.find(name);
+        if (fl != snap.in_flight.end()) {
+            const double for_s =
+                now_us > fl->second.since_wall_us
+                    ? static_cast<double>(now_us -
+                                          fl->second.since_wall_us) /
+                          1e6
+                    : 0.0;
+            flight = fl->second.cell + " (" + fl->second.phase + ", " +
+                     humanSeconds(for_s) + ")";
+        }
+        std::printf("%-14s %8zu %8llu %8llu %8s  %s\n", name.c_str(),
+                    hb.done,
+                    static_cast<unsigned long long>(hb.stolen),
+                    static_cast<unsigned long long>(hb.requeued),
+                    humanSeconds(hb.busy_ms / 1000.0).c_str(),
+                    flight.c_str());
+    }
+    // Journal-only participants (heartbeat not yet written, or a
+    // joiner that died before its first publish).
+    for (const auto &[name, fl] : snap.in_flight) {
+        if (snap.participants.count(name) != 0)
+            continue;
+        std::printf("%-14s %8s %8s %8s %8s  %s (%s)\n", name.c_str(),
+                    "?", "?", "?", "?", fl.cell.c_str(),
+                    fl.phase.c_str());
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::filesystem::path results_dir;
+    bool once = false;
+    double interval_s = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i] != nullptr ? argv[i] : "";
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--interval" && i + 1 < argc) {
+            interval_s = std::strtod(argv[++i], nullptr);
+            if (interval_s <= 0.0)
+                interval_s = 1.0;
+        } else if (results_dir.empty() && !arg.empty() &&
+                   arg[0] != '-') {
+            results_dir = arg;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s <results_dir> [--once] [--interval S]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (results_dir.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s <results_dir> [--once] [--interval S]\n",
+                     argv[0]);
+        return 2;
+    }
+    std::error_code ec;
+    if (!std::filesystem::is_directory(results_dir, ec)) {
+        std::fprintf(stderr, "sweep_top: %s is not a directory\n",
+                     results_dir.string().c_str());
+        return 1;
+    }
+
+#ifdef _WIN32
+    const bool tty = false;
+#else
+    const bool tty = isatty(fileno(stdout)) != 0;
+#endif
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t docs_at_start = collect(results_dir).docs;
+    for (;;) {
+        const Snapshot snap = collect(results_dir);
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        render(snap, elapsed, docs_at_start, tty && !once);
+        if (once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval_s));
+    }
+}

@@ -11,6 +11,8 @@
 #ifndef DICE_COMMON_STATS_HPP
 #define DICE_COMMON_STATS_HPP
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -100,6 +102,25 @@ class Histogram
     /** Count in bucket @p i (the last bucket is the overflow bucket). */
     std::uint64_t bucket(std::uint32_t i) const { return buckets_.at(i); }
 
+    /** Inclusive lower edge of bucket @p i. */
+    double
+    bucketLoEdge(std::uint32_t i) const
+    {
+        return static_cast<double>(width_) * i;
+    }
+
+    /** Exclusive upper edge of bucket @p i. The overflow bucket's
+     *  true edge is unbounded; the observed max is its tightest
+     *  honest stand-in. */
+    double
+    bucketHiEdge(std::uint32_t i) const
+    {
+        if (i + 1 >= numBuckets())
+            return std::max(bucketLoEdge(i),
+                            static_cast<double>(max_));
+        return static_cast<double>(width_) * (i + 1);
+    }
+
     std::uint32_t
     numBuckets() const
     {
@@ -113,12 +134,137 @@ class Histogram
         sum_ = count_ = max_ = 0;
     }
 
+    /**
+     * Quantile estimate (q in [0, 1]) by linear interpolation inside
+     * the bucket containing the rank, clamped to [0, max()]. 0 when
+     * empty.
+     */
+    double percentile(double q) const;
+
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t sum_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t max_ = 0;
+};
+
+/**
+ * Mergeable log-bucketed histogram.
+ *
+ * Bucket edges are *fixed* powers of two — bucket 0 holds exact
+ * zeros, bucket i >= 1 holds [2^(i-1), 2^i) — so histograms recorded
+ * by different sweep participants (other threads, other processes,
+ * other hosts) merge exactly: merge() is elementwise bucket addition,
+ * and the merged histogram is bit-identical to one that sampled the
+ * concatenated streams. That is the property the distributed sweep
+ * needs to report cross-worker phase-latency percentiles without ever
+ * shipping raw samples.
+ *
+ * Storage is a fixed std::array, so construction and sample() never
+ * allocate (the hot-path hooks are gated by the micro_simloop
+ * allocation check). Not internally synchronized.
+ */
+class LogHistogram
+{
+  public:
+    /** Bucket 0 (zeros) + one bucket per bit position of uint64. */
+    static constexpr std::uint32_t kBuckets = 65;
+
+    /** Bucket index of @p v: 0 for 0, otherwise bit_width(v). */
+    static std::uint32_t
+    bucketIndex(std::uint64_t v)
+    {
+        std::uint32_t w = 0;
+        while (v != 0) {
+            v >>= 1;
+            ++w;
+        }
+        return w;
+    }
+
+    /** Inclusive lower edge of bucket @p i. */
+    static std::uint64_t
+    bucketLo(std::uint32_t i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Exclusive upper edge of bucket @p i (saturates for the top
+     *  bucket, whose true edge 2^64 does not fit in uint64). */
+    static std::uint64_t
+    bucketHi(std::uint32_t i)
+    {
+        if (i == 0)
+            return 1;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return std::uint64_t{1} << i;
+    }
+
+    /** Record one sample. Allocation-free. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        sum_ += v;
+        ++count_;
+        if (v > max_)
+            max_ = v;
+        if (v < min_)
+            min_ = v;
+    }
+
+    /** Fold @p other in: exact (see class comment). */
+    void merge(const LogHistogram &other);
+
+    /**
+     * This histogram minus an earlier snapshot @p since of the *same*
+     * histogram: bucket counts, count, and sum become the activity in
+     * between (exact — counts are monotone). min/max stay cumulative:
+     * extremes of a window are not derivable from two snapshots, and
+     * every consumer (percentile clamping, straggler detection) wants
+     * an upper bound anyway.
+     */
+    LogHistogram subtracted(const LogHistogram &since) const;
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t bucket(std::uint32_t i) const { return buckets_.at(i); }
+
+    /** Mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /**
+     * Quantile estimate (q in [0, 1]): linear interpolation inside
+     * the bucket containing the rank, clamped to the observed
+     * [min(), max()] so a wide top bucket cannot report a value no
+     * sample reached. 0 when empty.
+     */
+    double percentile(double q) const;
+
+    void reset() { *this = LogHistogram{}; }
+
+    /** Rebuild from serialized parts (cross-process transport);
+     *  count is the sum of @p buckets. */
+    static LogHistogram
+    fromParts(const std::array<std::uint64_t, kBuckets> &buckets,
+              std::uint64_t sum, std::uint64_t max, std::uint64_t min);
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t sum_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
 };
 
 /**
@@ -149,6 +295,23 @@ class StatGroup
         checkFresh(stat_name);
         entries_.push_back({stat_name, std::move(f)});
     }
+
+    /**
+     * Register a histogram as a family of "<stat_name>.*" entries:
+     * count/sum/mean/max, p50/p90/p99 quantiles, and a lo/hi/count
+     * triple per non-empty bucket — explicit edges, so no consumer
+     * ever re-derives bucket widths from the implementation. Unlike
+     * addCounter, values are *frozen at registration time*: groups
+     * are materialized on demand by their registry provider (so a
+     * fresh group always carries current values) and freezing keeps
+     * the export race-free against concurrent samplers.
+     */
+    void addHistogram(const std::string &stat_name, const Histogram &h);
+
+    /** addHistogram for a LogHistogram (same entry family, same
+     *  frozen-at-registration semantics). */
+    void addLogHistogram(const std::string &stat_name,
+                         const LogHistogram &h);
 
     const std::string &name() const { return name_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/sweep_events.hpp"
 #include "common/trace_events.hpp"
 #include "workloads/region_plan.hpp"
 
@@ -119,6 +120,11 @@ System::registerStats()
     // under (a stalling sweep is usually an arena thrashing story).
     registry_.add("trace_arena",
                   [] { return TraceArena::instance().statGroup(); });
+    // Likewise process-wide: the sweep phase-latency histograms
+    // (claim-wait, generate, simulate, export, whole-cell, lease ops)
+    // this cell's run contributed to.
+    registry_.add("sweep",
+                  [] { return SweepMetrics::instance().statGroup(); });
 }
 
 std::uint64_t

@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "common/sweep_events.hpp"
 #include "common/telemetry.hpp"
 #include "common/trace_events.hpp"
 #include "common/rng.hpp"
@@ -210,6 +211,18 @@ TraceArena::acquire(const std::string &workload, std::uint64_t seed,
     }
     claim.release();
     promise.set_value(set);
+
+    // Journal the arena outcome: a sweep timeline showing which cells
+    // hit disk vs paid a full generation (or re-spilled) is usually
+    // the answer to "why is worker 2 slower".
+    SweepJournal &journal = SweepJournal::instance();
+    if (journal.enabled()) {
+        const std::string jkey =
+            workload + ".s" + std::to_string(seed);
+        journal.arena(from_disk ? "disk_hit" : "generate", jkey);
+        if (spilled)
+            journal.arena("spill", jkey);
+    }
 
     {
         std::unique_lock lock(mu_);
